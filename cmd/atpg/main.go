@@ -1,0 +1,124 @@
+// Command atpg runs the test-generation substrate: scan insertion +
+// PODEM + X-aware fault simulation on a gate-level netlist, emitting the
+// test cubes the compression stage consumes.
+//
+//	atpg -bench s27                     # embedded benchmark netlist
+//	atpg -bench path/to/circuit.bench   # ISCAS89-style .bench file
+//	atpg -generate 20,8,40,400,7        # inputs,outputs,dffs,gates,seed
+//	atpg -bench s27 -out cubes.txt -random 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lzwtc/internal/atpg"
+	"lzwtc/internal/circuit"
+	"lzwtc/internal/compact"
+	"lzwtc/internal/fault"
+	"lzwtc/internal/scan"
+)
+
+func main() {
+	benchPath := flag.String("bench", "", "netlist: s27, c17 or a .bench file path")
+	generate := flag.String("generate", "", "synthesize a netlist: inputs,outputs,dffs,gates,seed")
+	out := flag.String("out", "-", "cube output file (- for stdout)")
+	chains := flag.Int("chains", 1, "scan chains to insert")
+	random := flag.Int("random", 32, "random patterns before PODEM")
+	backtracks := flag.Int("backtracks", 500, "PODEM backtrack limit")
+	seed := flag.Int64("seed", 1, "random-phase seed")
+	doCompact := flag.Bool("compact", false, "merge compatible cubes and drop redundant patterns")
+	flag.Parse()
+
+	c, err := loadCircuit(*benchPath, *generate)
+	if err != nil {
+		fail(err)
+	}
+	design, err := scan.Insert(c, *chains)
+	if err != nil {
+		fail(err)
+	}
+	n := c.Count()
+	fmt.Fprintf(os.Stderr, "%s: %d gates (%d PI, %d PO, %d FF), %d scan chain(s), pattern width %d\n",
+		c.Name, n.Gates, n.Inputs, n.Outputs, n.DFFs, len(design.Chains), design.PatternWidth())
+
+	res, err := atpg.Run(design.Comb, atpg.Options{
+		Collapse:       true,
+		RandomPatterns: *random,
+		MaxBacktracks:  *backtracks,
+		Seed:           *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "faults: %d collapsed, %d detected (%.1f%% fault / %.1f%% test coverage), %d untestable, %d aborted\n",
+		res.Total, res.Detected, 100*res.Coverage(), 100*res.TestCoverage(), res.Untestable, res.Aborted)
+	fmt.Fprintf(os.Stderr, "cubes: %d patterns x %d bits, %.1f%% don't-cares\n",
+		len(res.Cubes.Cubes), res.Cubes.Width, 100*res.Cubes.XDensity())
+
+	cubes := res.Cubes
+	if *doCompact {
+		faults := fault.Collapse(c, fault.All(c))
+		compacted, cst, err := compact.Compact(design.Comb, cubes, faults)
+		if err != nil {
+			fail(err)
+		}
+		cubes = compacted
+		fmt.Fprintf(os.Stderr, "compaction: %d -> %d patterns (%d merges, %d dropped), X %.1f%% -> %.1f%%\n",
+			cst.PatternsIn, cst.PatternsOut, cst.Merges, cst.Dropped, 100*cst.XDensityIn, 100*cst.XDensityOut)
+	}
+
+	w := os.Stdout
+	if *out != "-" && *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := cubes.WriteCubes(w); err != nil {
+		fail(err)
+	}
+}
+
+func loadCircuit(benchPath, generate string) (*circuit.Circuit, error) {
+	switch {
+	case generate != "":
+		parts := strings.Split(generate, ",")
+		if len(parts) != 5 {
+			return nil, fmt.Errorf("-generate wants inputs,outputs,dffs,gates,seed")
+		}
+		var v [5]int
+		for i, p := range parts {
+			x, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, fmt.Errorf("-generate field %d: %w", i, err)
+			}
+			v[i] = x
+		}
+		return circuit.Generate(circuit.GenConfig{
+			Name: "synth", Inputs: v[0], Outputs: v[1], DFFs: v[2], Comb: v[3], Seed: int64(v[4]),
+		})
+	case benchPath == "s27":
+		return circuit.S27(), nil
+	case benchPath == "c17":
+		return circuit.C17(), nil
+	case benchPath != "":
+		f, err := os.Open(benchPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return circuit.ParseBench(benchPath, f)
+	}
+	return nil, fmt.Errorf("need -bench or -generate")
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "atpg: %v\n", err)
+	os.Exit(1)
+}

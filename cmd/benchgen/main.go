@@ -1,0 +1,53 @@
+// Command benchgen emits the calibrated benchmark workloads: test-cube
+// sets matching the scan geometry and don't-care density of the paper's
+// ISCAS89/ITC99 evaluation circuits.
+//
+//	benchgen -list
+//	benchgen -circuit s13207 -out s13207.cubes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lzwtc/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available circuits and exit")
+	name := flag.String("circuit", "", "circuit to generate (see -list)")
+	out := flag.String("out", "-", "cube output file (- for stdout)")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-8s %-8s %9s %9s %11s %6s\n", "name", "suite", "scan len", "patterns", "don't-cares", "N")
+		for _, p := range bench.Profiles() {
+			fmt.Printf("%-8s %-8s %9d %9d %10.2f%% %6d\n",
+				p.Name, p.Suite, p.ScanLen, p.Patterns, 100*p.XDensity, p.DictSize)
+		}
+		return
+	}
+	p, err := bench.ByName(*name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v (try -list)\n", err)
+		os.Exit(1)
+	}
+	cs := p.Generate()
+	w := os.Stdout
+	if *out != "-" && *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := cs.WriteCubes(w); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d patterns x %d bits, %.2f%% don't-cares (target %.2f%%)\n",
+		p.Name, len(cs.Cubes), cs.Width, 100*cs.XDensity(), 100*p.XDensity)
+}

@@ -1,0 +1,50 @@
+// Command experiments regenerates the paper's evaluation: every table
+// and figure of Section 6.
+//
+//	go run ./cmd/experiments -run all
+//	go run ./cmd/experiments -run table1
+//	go run ./cmd/experiments -run table3 -md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lzwtc/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: all, "+strings.Join(experiments.Names(), ", "))
+	md := flag.Bool("md", false, "emit GitHub-flavored markdown instead of fixed-width text")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	names := experiments.Names()
+	if *run != "all" {
+		names = strings.Split(*run, ",")
+	}
+	for i, name := range names {
+		t, err := experiments.Run(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		if *md {
+			fmt.Print(t.Markdown())
+		} else {
+			fmt.Print(t.String())
+		}
+	}
+}

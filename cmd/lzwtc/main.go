@@ -1,0 +1,255 @@
+// Command lzwtc compresses and decompresses scan test sets.
+//
+// Test sets are text files with one pattern of '0'/'1'/'X' per line.
+// Compressed files are self-describing containers.
+//
+//	lzwtc compress  -in cubes.txt -out cubes.lzw [-char 7 -dict 1024 -entry 63]
+//	lzwtc decompress -in cubes.lzw -out filled.txt
+//	lzwtc info      -in cubes.lzw
+//	lzwtc compare   -in cubes.txt              # all coders side by side
+//	lzwtc verify    -cubes cubes.txt -filled filled.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lzwtc"
+	"lzwtc/internal/huffman"
+	"lzwtc/internal/lz77"
+	"lzwtc/internal/rle"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "compress":
+		err = compress(os.Args[2:])
+	case "decompress":
+		err = decompress(os.Args[2:])
+	case "info":
+		err = info(os.Args[2:])
+	case "compare":
+		err = compare(os.Args[2:])
+	case "verify":
+		err = verify(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lzwtc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: lzwtc {compress|decompress|info|compare|verify} [flags]")
+	os.Exit(2)
+}
+
+func openIn(path string) (io.ReadCloser, error) {
+	if path == "" || path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(path)
+}
+
+func openOut(path string) (io.WriteCloser, error) {
+	if path == "" || path == "-" {
+		return nopWriteCloser{os.Stdout}, nil
+	}
+	return os.Create(path)
+}
+
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
+
+func configFlags(fs *flag.FlagSet) *lzwtc.Config {
+	cfg := lzwtc.DefaultConfig()
+	fs.IntVar(&cfg.CharBits, "char", cfg.CharBits, "C_C: character size in bits")
+	fs.IntVar(&cfg.DictSize, "dict", cfg.DictSize, "N: dictionary size in codes")
+	fs.IntVar(&cfg.EntryBits, "entry", cfg.EntryBits, "C_MDATA: dictionary entry width in bits (0 = unbounded)")
+	return &cfg
+}
+
+func compress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	in := fs.String("in", "-", "input cube file (- for stdin)")
+	out := fs.String("out", "-", "output container (- for stdout)")
+	cfg := configFlags(fs)
+	fs.Parse(args)
+
+	r, err := openIn(*in)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	ts, err := lzwtc.ReadTestSet(r)
+	if err != nil {
+		return err
+	}
+	res, err := lzwtc.Compress(ts, *cfg)
+	if err != nil {
+		return err
+	}
+	w, err := openOut(*out)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if _, err := w.Write(res.Encode()); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "compressed %d patterns x %d bits: %d -> %d bits (%.2f%%)\n",
+		res.Patterns, res.Width, res.OriginalBits, res.CompressedBits(), 100*res.Ratio())
+	return nil
+}
+
+func decompress(args []string) error {
+	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
+	in := fs.String("in", "-", "input container (- for stdin)")
+	out := fs.String("out", "-", "output cube file (- for stdout)")
+	fs.Parse(args)
+
+	r, err := openIn(*in)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	res, err := lzwtc.DecodeResult(data)
+	if err != nil {
+		return err
+	}
+	ts, err := lzwtc.Decompress(res)
+	if err != nil {
+		return err
+	}
+	w, err := openOut(*out)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	return ts.WriteCubes(w)
+}
+
+func info(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "-", "input container (- for stdin)")
+	fs.Parse(args)
+
+	r, err := openIn(*in)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	res, err := lzwtc.DecodeResult(data)
+	if err != nil {
+		return err
+	}
+	cfg := res.Stream.Cfg
+	fmt.Printf("patterns:        %d x %d bits (%d bits total)\n", res.Patterns, res.Width, res.OriginalBits)
+	fmt.Printf("configuration:   C_C=%d  N=%d (C_E=%d)  C_MDATA=%d  fill=%v tie=%v full=%v\n",
+		cfg.CharBits, cfg.DictSize, cfg.CodeBits(), cfg.EntryBits, cfg.Fill, cfg.Tie, cfg.Full)
+	fmt.Printf("compressed:      %d codes, %d bits (%.2f%% compression)\n",
+		len(res.Stream.Codes), res.CompressedBits(), 100*res.Ratio())
+	if cfg.EntryBits > 0 {
+		fmt.Printf("decompressor:    %d x %d-bit dictionary memory (%d bits)\n",
+			cfg.DictSize, cfg.LenBits()+cfg.EntryBits, cfg.MemoryBits())
+	}
+	return nil
+}
+
+func compare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	in := fs.String("in", "-", "input cube file (- for stdin)")
+	cfg := configFlags(fs)
+	fs.Parse(args)
+
+	r, err := openIn(*in)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	ts, err := lzwtc.ReadTestSet(r)
+	if err != nil {
+		return err
+	}
+	res, err := lzwtc.Compress(ts, *cfg)
+	if err != nil {
+		return err
+	}
+	stream := ts.Serialize()
+	l7, err := lz77.Compress(stream, lz77.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	gl, err := rle.Compress(stream, rle.Config{Kind: rle.Golomb})
+	if err != nil {
+		return err
+	}
+	fd, err := rle.Compress(stream, rle.Config{Kind: rle.FDR})
+	if err != nil {
+		return err
+	}
+	al, err := rle.Compress(stream, rle.Config{Kind: rle.Alternating})
+	if err != nil {
+		return err
+	}
+	hf, err := huffman.Compress(stream, huffman.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d patterns x %d bits, %.1f%% don't-cares\n", len(ts.Cubes), ts.Width, 100*ts.XDensity())
+	fmt.Printf("  LZW (dynamic X): %7.2f%%\n", 100*res.Ratio())
+	fmt.Printf("  LZ77:            %7.2f%%\n", 100*l7.Stats.Ratio())
+	fmt.Printf("  RLE Golomb M=%-4d%7.2f%%\n", gl.Stats.ChosenM, 100*gl.Stats.Ratio())
+	fmt.Printf("  RLE FDR:         %7.2f%%\n", 100*fd.Stats.Ratio())
+	fmt.Printf("  RLE alternating: %7.2f%%\n", 100*al.Stats.Ratio())
+	fmt.Printf("  Huffman (sel.):  %7.2f%%\n", 100*hf.Stats.Ratio())
+	return nil
+}
+
+func verify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	cubesPath := fs.String("cubes", "", "original cube file")
+	filledPath := fs.String("filled", "", "decompressed (fully specified) cube file")
+	fs.Parse(args)
+
+	cr, err := openIn(*cubesPath)
+	if err != nil {
+		return err
+	}
+	defer cr.Close()
+	cubes, err := lzwtc.ReadTestSet(cr)
+	if err != nil {
+		return err
+	}
+	fr, err := openIn(*filledPath)
+	if err != nil {
+		return err
+	}
+	defer fr.Close()
+	filled, err := lzwtc.ReadTestSet(fr)
+	if err != nil {
+		return err
+	}
+	if err := lzwtc.Verify(cubes, filled); err != nil {
+		return err
+	}
+	fmt.Printf("ok: %d patterns, every specified bit preserved\n", len(cubes.Cubes))
+	return nil
+}

@@ -1,0 +1,96 @@
+// warm_start demonstrates the dictionary-preloading extension: a
+// dictionary trained on one test session is written into the embedded
+// memory (through the Figure 6 port) before the next session, so the
+// LZW compressor starts warm — the amortization the paper's conclusion
+// suggests when the decompression engine becomes part of normal
+// operation. The session's responses are compacted into a MISR
+// signature, closing the Figure 2 loop on the output side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lzwtc"
+	"lzwtc/internal/bench"
+	"lzwtc/internal/bitvec"
+	"lzwtc/internal/core"
+	"lzwtc/internal/decomp"
+	"lzwtc/internal/mem"
+	"lzwtc/internal/signature"
+)
+
+func main() {
+	p, err := bench.ByName("s13207")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.Config{CharBits: 7, DictSize: p.DictSize, EntryBits: 63}
+	cs := p.Generate()
+	half := len(cs.Cubes) / 2
+	session1 := &bitvec.CubeSet{Width: cs.Width, Cubes: cs.Cubes[:half]}
+	session2 := &bitvec.CubeSet{Width: cs.Width, Cubes: cs.Cubes[half:]}
+	fmt.Printf("%s: two test sessions of %d and %d patterns\n", p.Name, half, len(cs.Cubes)-half)
+
+	// Session 1 runs cold and trains the dictionary.
+	train := session1.SerializeAligned(cfg.CharBits)
+	pre, err := core.Train(train, cfg, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session 1 trained %d dictionary strings\n", pre.Entries())
+
+	// Session 2, cold vs warm.
+	payload := session2.SerializeAligned(cfg.CharBits)
+	orig := session2.TotalBits()
+	cold, err := core.Compress(payload, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	warm, err := core.CompressWithPreload(payload, cfg, pre)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ratio := func(r *core.Result) float64 { return 100 * (1 - float64(r.Stats.CompressedBits)/float64(orig)) }
+	fmt.Printf("session 2 compression: cold %.2f%%, warm %.2f%%\n", ratio(cold), ratio(warm))
+
+	// The decompressor receives the same preload through the shared
+	// memory port before the warm session starts.
+	words, width := decomp.MemoryGeometry(cfg)
+	shared := mem.NewShared(mem.New(words, width))
+	shared.Select(mem.SrcLZW)
+	hw, err := decomp.New(cfg, 10, shared)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hw.Preload(pre); err != nil {
+		log.Fatal(err)
+	}
+	stream, stats, err := hw.Run(warm.Pack(), len(warm.Codes), warm.InputBits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	filled, err := bitvec.DeserializeAligned(stream, cs.Width, cfg.CharBits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := lzwtc.Verify(session2, filled); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("warm hardware decompression: %d codes in %d tester cycles (raw would take %d), verified\n",
+		stats.CodesDecoded, stats.TesterCycles, orig)
+
+	// Response side: fold the delivered vectors into a MISR signature
+	// (in a real flow these would be the captured responses).
+	misr, err := signature.NewMISR(32, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range filled.Cubes {
+		if err := misr.Capture(c); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("MISR signature over %d capture words: %#010x (aliasing probability %.2g)\n",
+		misr.Cycles(), misr.Signature(), misr.AliasingProbability())
+}

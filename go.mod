@@ -1,0 +1,3 @@
+module lzwtc
+
+go 1.22

@@ -1,0 +1,63 @@
+package atpg
+
+import (
+	"testing"
+
+	"lzwtc/internal/bitvec"
+	"lzwtc/internal/circuit"
+	"lzwtc/internal/fault"
+	"lzwtc/internal/fsim"
+)
+
+func TestSoundAndCompleteAgainstExhaustive(t *testing.T) {
+	gen, err := circuit.Generate(circuit.GenConfig{Name: "d", Inputs: 8, Outputs: 4, DFFs: 4, Comb: 60, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := circuit.NewComb(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.Collapse(cb.C, fault.All(cb.C))
+	// Ground truth: exhaustive patterns over the 12-bit pattern space.
+	cs := bitvec.NewCubeSet(cb.Width())
+	for v := 0; v < 1<<uint(cb.Width()); v++ {
+		p := bitvec.New(cb.Width())
+		for b := 0; b < cb.Width(); b++ {
+			p.Set(b, bitvec.Bit(v>>uint(b)&1))
+		}
+		cs.Cubes = append(cs.Cubes, p)
+	}
+	truth, err := fsim.Run(cb, cs, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("exhaustively detectable: %d / %d", truth.Detected, len(faults))
+
+	// PODEM verdicts per fault.
+	eng := newEngine(cb)
+	wrongUntestable, wrongFound, aborted := 0, 0, 0
+	for fi, f := range faults {
+		_, st := eng.generate(f, 2000)
+		detectable := truth.DetectedBy[fi] >= 0
+		switch st {
+		case statusFound:
+			if !detectable {
+				wrongFound++
+			}
+		case statusUntestable:
+			if detectable {
+				wrongUntestable++
+				if wrongUntestable <= 5 {
+					t.Logf("WRONG untestable: %v", f.Name(cb.C))
+				}
+			}
+		case statusAborted:
+			aborted++
+		}
+	}
+	t.Logf("wrongUntestable=%d wrongFound=%d aborted=%d", wrongUntestable, wrongFound, aborted)
+	if wrongUntestable > 0 || wrongFound > 0 {
+		t.Fail()
+	}
+}

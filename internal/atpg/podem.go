@@ -1,0 +1,597 @@
+// Package atpg generates test cubes for single stuck-at faults with the
+// PODEM algorithm (path-oriented decision making): objectives are backtraced
+// to primary-input assignments, implications run as dual good/faulty
+// three-valued simulations, and decisions are undone on conflicts.
+//
+// The output is what the paper's compression stage consumes: *test cubes*,
+// input vectors in which only the bits PODEM actually needed are specified
+// and everything else stays X. The 35–93% don't-care densities of Table 3
+// are exactly the unassigned bits left by this process.
+package atpg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lzwtc/internal/bitvec"
+	"lzwtc/internal/circuit"
+	"lzwtc/internal/fault"
+	"lzwtc/internal/fsim"
+	"lzwtc/internal/sim"
+)
+
+// Options tunes the generator.
+type Options struct {
+	// MaxBacktracks bounds the PODEM search per fault (default 200).
+	MaxBacktracks int
+	// RandomPatterns seeds the run with this many random concrete
+	// patterns, fault-simulated to drop easy faults first (default 0).
+	RandomPatterns int
+	// Seed drives the random phase and value ordering.
+	Seed int64
+	// Collapse applies structural equivalence collapsing to the fault
+	// list.
+	Collapse bool
+}
+
+// Result is a completed ATPG run.
+type Result struct {
+	Cubes      *bitvec.CubeSet
+	Total      int // faults targeted (after collapsing)
+	Detected   int
+	Untestable int // proven redundant (search exhausted without backtrack limit)
+	Aborted    int // backtrack limit hit
+	RandomHits int // faults dropped by the random phase
+}
+
+// Coverage returns fault coverage: detected / total.
+func (r *Result) Coverage() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Detected) / float64(r.Total)
+}
+
+// TestCoverage returns detected / (total - proven untestable), the
+// industry metric that does not penalize redundant faults.
+func (r *Result) TestCoverage() float64 {
+	den := r.Total - r.Untestable
+	if den <= 0 {
+		return 0
+	}
+	return float64(r.Detected) / float64(den)
+}
+
+// Run generates cubes for all collapsed stuck-at faults of the circuit.
+func Run(cb *circuit.Comb, opts Options) (*Result, error) {
+	if opts.MaxBacktracks == 0 {
+		opts.MaxBacktracks = 500
+	}
+	faults := fault.All(cb.C)
+	if opts.Collapse {
+		faults = fault.Collapse(cb.C, faults)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := &Result{Cubes: bitvec.NewCubeSet(cb.Width()), Total: len(faults)}
+
+	detected := make([]bool, len(faults))
+
+	// Random phase: cheap coverage of the easy faults.
+	if opts.RandomPatterns > 0 {
+		pats := make([]*bitvec.Vector, opts.RandomPatterns)
+		for i := range pats {
+			v := bitvec.New(cb.Width())
+			for b := 0; b < cb.Width(); b++ {
+				v.Set(b, bitvec.Bit(rng.Intn(2)))
+			}
+			pats[i] = v
+		}
+		cs := &bitvec.CubeSet{Width: cb.Width(), Cubes: pats}
+		fres, err := fsim.Run(cb, cs, faults)
+		if err != nil {
+			return nil, err
+		}
+		used := map[int]bool{}
+		for fi, at := range fres.DetectedBy {
+			if at >= 0 {
+				detected[fi] = true
+				res.Detected++
+				res.RandomHits++
+				used[at] = true
+			}
+		}
+		for i, p := range pats {
+			if used[i] {
+				if err := res.Cubes.Add(p); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	eng := newEngine(cb)
+	cones := fsim.NewConeCache(cb)
+	scratch := make([]sim.PVal, len(cb.C.Gates))
+	ps := sim.NewPState(cb)
+
+	for fi, f := range faults {
+		if detected[fi] {
+			continue
+		}
+		cube, status := eng.generate(f, opts.MaxBacktracks)
+		switch status {
+		case statusFound:
+			if err := res.Cubes.Add(cube); err != nil {
+				return nil, err
+			}
+			// X-aware dropping: credit this cube with every remaining
+			// fault it detects regardless of how X bits are later filled.
+			if err := ps.Apply([]*bitvec.Vector{cube}); err != nil {
+				return nil, err
+			}
+			hits := fsim.DetectsAny(cb, cones, ps, faults, scratch)
+			for fj := fi; fj < len(faults); fj++ {
+				if hits[fj] && !detected[fj] {
+					detected[fj] = true
+					res.Detected++
+				}
+			}
+			if !detected[fi] {
+				return nil, fmt.Errorf("atpg: generated cube does not detect its target %v", f.Name(cb.C))
+			}
+		case statusUntestable:
+			res.Untestable++
+		case statusAborted:
+			res.Aborted++
+		}
+	}
+	return res, nil
+}
+
+type status int
+
+const (
+	statusFound status = iota
+	statusUntestable
+	statusAborted
+)
+
+// engine holds the per-fault PODEM state.
+type engine struct {
+	cb      *circuit.Comb
+	good    *sim.State
+	faulty  *sim.State
+	inPos   map[int]int // gate id -> pattern bit position
+	cube    *bitvec.Vector
+	obsDist []int // min gate hops to an observation point (-1 unreachable)
+	mark    []int // scratch for X-path search
+	markGen int
+	cc0     []int // SCOAP 0-controllability
+	cc1     []int // SCOAP 1-controllability
+}
+
+func newEngine(cb *circuit.Comb) *engine {
+	inPos := make(map[int]int, cb.Width())
+	for i := 0; i < cb.Width(); i++ {
+		inPos[cb.InputAt(i)] = i
+	}
+	e := &engine{cb: cb, good: sim.NewState(cb), faulty: sim.NewState(cb), inPos: inPos}
+	e.obsDist = observationDistances(cb)
+	e.mark = make([]int, len(cb.C.Gates))
+	e.cc0, e.cc1 = controllability(cb)
+	return e
+}
+
+// controllability computes SCOAP-style 0/1 controllability costs, used
+// to steer the backtrace: satisfy any-input requirements through the
+// cheapest input, all-input requirements through the hardest one first.
+func controllability(cb *circuit.Comb) (cc0, cc1 []int) {
+	const inf = 1 << 28
+	n := len(cb.C.Gates)
+	cc0 = make([]int, n)
+	cc1 = make([]int, n)
+	add := func(a, b int) int {
+		if s := a + b; s < inf {
+			return s
+		}
+		return inf
+	}
+	for _, id := range cb.Order {
+		g := &cb.C.Gates[id]
+		switch g.Type {
+		case circuit.Input, circuit.DFF:
+			cc0[id], cc1[id] = 1, 1
+		case circuit.Buf:
+			cc0[id], cc1[id] = cc0[g.Fanin[0]]+1, cc1[g.Fanin[0]]+1
+		case circuit.Not:
+			cc0[id], cc1[id] = cc1[g.Fanin[0]]+1, cc0[g.Fanin[0]]+1
+		case circuit.And, circuit.Nand:
+			all1, min0 := 0, inf
+			for _, d := range g.Fanin {
+				all1 = add(all1, cc1[d])
+				if cc0[d] < min0 {
+					min0 = cc0[d]
+				}
+			}
+			if g.Type == circuit.And {
+				cc1[id], cc0[id] = all1+1, min0+1
+			} else {
+				cc0[id], cc1[id] = all1+1, min0+1
+			}
+		case circuit.Or, circuit.Nor:
+			all0, min1 := 0, inf
+			for _, d := range g.Fanin {
+				all0 = add(all0, cc0[d])
+				if cc1[d] < min1 {
+					min1 = cc1[d]
+				}
+			}
+			if g.Type == circuit.Or {
+				cc0[id], cc1[id] = all0+1, min1+1
+			} else {
+				cc1[id], cc0[id] = all0+1, min1+1
+			}
+		case circuit.Xor, circuit.Xnor:
+			a0, a1 := cc0[g.Fanin[0]], cc1[g.Fanin[0]]
+			for _, d := range g.Fanin[1:] {
+				b0, b1 := cc0[d], cc1[d]
+				n0 := minInt(add(a0, b0), add(a1, b1))
+				n1 := minInt(add(a0, b1), add(a1, b0))
+				a0, a1 = n0, n1
+			}
+			if g.Type == circuit.Xnor {
+				a0, a1 = a1, a0
+			}
+			cc0[id], cc1[id] = a0+1, a1+1
+		}
+	}
+	return cc0, cc1
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// observationDistances computes, per gate, the minimum number of gate
+// hops to any observation point (PO gate or DFF data input net).
+func observationDistances(cb *circuit.Comb) []int {
+	dist := make([]int, len(cb.C.Gates))
+	for i := range dist {
+		dist[i] = -1
+	}
+	var queue []int
+	for i := 0; i < cb.ObsCount(); i++ {
+		o := cb.ObsAt(i)
+		if dist[o] != 0 {
+			dist[o] = 0
+			queue = append(queue, o)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, f := range cb.C.Gates[id].Fanin {
+			if dist[f] < 0 {
+				dist[f] = dist[id] + 1
+				queue = append(queue, f)
+			}
+		}
+	}
+	return dist
+}
+
+// xPath reports whether an X path exists from gate id to an observation
+// point: a forward path along which every gate's faulty value is still X
+// (a specified gate can no longer change, blocking propagation). DFF
+// sinks terminate paths because their data inputs are themselves
+// observed.
+func (e *engine) xPath(id int) bool {
+	e.markGen++
+	return e.xPathFrom(id)
+}
+
+func (e *engine) xPathFrom(id int) bool {
+	if e.obsDist[id] == 0 {
+		return true
+	}
+	fanout := e.cb.C.Fanout()
+	for _, s := range fanout[id] {
+		if e.mark[s] == e.markGen {
+			continue
+		}
+		e.mark[s] = e.markGen
+		if e.cb.C.Gates[s].Type == circuit.DFF {
+			continue // the net feeding it was the observation point
+		}
+		// A gate can still come to show a good/faulty difference as long
+		// as either machine's value is undetermined there.
+		if e.good.Get(s) != bitvec.X && e.faulty.Get(s) != bitvec.X {
+			continue
+		}
+		if e.xPathFrom(s) {
+			return true
+		}
+	}
+	return false
+}
+
+type decision struct {
+	pos       int
+	val       bitvec.Bit
+	triedBoth bool
+}
+
+// generate runs PODEM for one fault.
+func (e *engine) generate(f fault.Fault, maxBacktracks int) (*bitvec.Vector, status) {
+	e.cube = bitvec.New(e.cb.Width())
+	inject := f.Injector(e.cb.C, func(id int) bitvec.Bit { return e.faulty.Get(id) })
+	var stack []decision
+	backtracks := 0
+
+	imply := func() {
+		// Full re-simulation of both machines; circuits here are small
+		// enough that event-driven implication is not worth its weight.
+		_ = e.good.Apply(e.cube)
+		_ = e.faulty.ApplyFaulty(e.cube, inject)
+	}
+	imply()
+
+	for {
+		if e.detected(f) {
+			return e.cube.Clone(), statusFound
+		}
+		objGate, objVal, viable := e.objective(f)
+		if viable {
+			if pos, val, ok := e.backtrace(objGate, objVal); ok {
+				stack = append(stack, decision{pos: pos, val: val})
+				e.cube.Set(pos, val)
+				imply()
+				continue
+			}
+		}
+		// Conflict or no viable objective: backtrack.
+		for {
+			if len(stack) == 0 {
+				if backtracks >= maxBacktracks {
+					return nil, statusAborted
+				}
+				return nil, statusUntestable
+			}
+			top := &stack[len(stack)-1]
+			if !top.triedBoth {
+				top.triedBoth = true
+				top.val ^= 1
+				e.cube.Set(top.pos, top.val)
+				backtracks++
+				if backtracks > maxBacktracks {
+					return nil, statusAborted
+				}
+				break
+			}
+			e.cube.Set(top.pos, bitvec.X)
+			stack = stack[:len(stack)-1]
+		}
+		imply()
+	}
+}
+
+// detected reports whether any observation point shows a specified
+// good/faulty difference.
+func (e *engine) detected(f fault.Fault) bool {
+	for i := 0; i < e.cb.ObsCount(); i++ {
+		o := e.cb.ObsAt(i)
+		g, fv := e.good.Get(o), e.faulty.Get(o)
+		if g != bitvec.X && fv != bitvec.X && g != fv {
+			return true
+		}
+	}
+	return false
+}
+
+// objective picks the next value requirement: activate the fault if it
+// is not yet activated, otherwise advance the D-frontier. The bool
+// result is false when the fault is provably blocked under the current
+// assignment (activation impossible or D-frontier empty).
+func (e *engine) objective(f fault.Fault) (gate int, val bitvec.Bit, ok bool) {
+	site := f.SiteGate()
+	gv, fv := e.good.Get(site), e.faulty.Get(site)
+
+	// Activation: the site must carry a specified good value differing
+	// from the faulty value.
+	if gv == bitvec.X {
+		if f.Pin >= 0 {
+			// Drive the faulty pin's net to the non-stuck value.
+			drv := e.cb.C.Gates[site].Fanin[f.Pin]
+			if dv := e.good.Get(drv); dv == bitvec.X {
+				return drv, f.SA ^ 1, true
+			}
+			// Pin already specified; site output still X: fall through to
+			// generic justification of the site output.
+		}
+		// Want the good site output opposite of the stuck value where
+		// possible; for pin faults any specified difference works, and
+		// aiming at the complement of the faulty value is the standard
+		// heuristic.
+		want := f.SA ^ 1
+		if f.Pin >= 0 && fv != bitvec.X {
+			want = fv ^ 1
+		}
+		return site, want, true
+	}
+	if fv == bitvec.X {
+		// Pin fault with a specified good output but an unresolved faulty
+		// output: justify the faulty side by feeding the site's remaining
+		// X inputs non-controlling values.
+		for _, d := range e.cb.C.Gates[site].Fanin {
+			if e.good.Get(d) == bitvec.X {
+				return d, nonControlling(e.cb.C.Gates[site].Type), true
+			}
+		}
+		return 0, 0, false
+	}
+	if gv == fv {
+		return 0, 0, false // fault not excitable under this assignment
+	}
+
+	// Propagation: among D-frontier gates — specified good/faulty
+	// difference on an input, X on the output — pick the one nearest an
+	// observation point that still has an X path there, and feed one of
+	// its X inputs the non-controlling value.
+	bestGate, bestDist := -1, -1
+	for _, id := range e.cb.Order {
+		g := &e.cb.C.Gates[id]
+		if g.Type == circuit.Input || g.Type == circuit.DFF {
+			continue
+		}
+		if e.good.Get(id) != bitvec.X && e.faulty.Get(id) != bitvec.X {
+			continue
+		}
+		onFrontier := false
+		for _, d := range g.Fanin {
+			dg, df := e.good.Get(d), e.faulty.Get(d)
+			if dg != bitvec.X && df != bitvec.X && dg != df {
+				onFrontier = true
+				break
+			}
+		}
+		if !onFrontier {
+			continue
+		}
+		hasX := false
+		for _, d := range g.Fanin {
+			if e.good.Get(d) == bitvec.X {
+				hasX = true
+				break
+			}
+		}
+		if !hasX || e.obsDist[id] < 0 {
+			continue
+		}
+		if !e.xPath(id) {
+			continue // the difference can no longer reach an observation point this way
+		}
+		if bestGate < 0 || e.obsDist[id] < bestDist {
+			bestGate, bestDist = id, e.obsDist[id]
+		}
+	}
+	if bestGate < 0 {
+		return 0, 0, false
+	}
+	for _, d := range e.cb.C.Gates[bestGate].Fanin {
+		if e.good.Get(d) == bitvec.X {
+			return d, nonControlling(e.cb.C.Gates[bestGate].Type), true
+		}
+	}
+	return 0, 0, false
+}
+
+// nonControlling returns the value that lets a gate pass its other
+// inputs through.
+func nonControlling(t circuit.GateType) bitvec.Bit {
+	switch t {
+	case circuit.And, circuit.Nand:
+		return bitvec.One
+	case circuit.Or, circuit.Nor:
+		return bitvec.Zero
+	}
+	return bitvec.Zero // XOR/XNOR/BUF/NOT: either value propagates
+}
+
+// backtrace walks an objective back to an unassigned primary input,
+// complementing the target value through inverting gates and using
+// SCOAP controllability to order choices: an all-inputs requirement
+// (AND wanting 1, OR wanting 0) goes through the hardest X input first,
+// an any-input requirement through the cheapest.
+func (e *engine) backtrace(gate int, val bitvec.Bit) (pos int, v bitvec.Bit, ok bool) {
+	for {
+		g := &e.cb.C.Gates[gate]
+		switch g.Type {
+		case circuit.Input, circuit.DFF:
+			p, isIn := e.inPos[gate]
+			if !isIn || e.cube.Get(p) != bitvec.X {
+				return 0, 0, false
+			}
+			return p, val, true
+
+		case circuit.Buf, circuit.Not:
+			if g.Type == circuit.Not {
+				val ^= 1
+			}
+			if e.good.Get(g.Fanin[0]) != bitvec.X {
+				return 0, 0, false
+			}
+			gate = g.Fanin[0]
+
+		case circuit.And, circuit.Nand, circuit.Or, circuit.Nor:
+			inVal := val
+			if g.Type.Inverting() {
+				inVal ^= 1
+			}
+			var needAll bool
+			switch g.Type {
+			case circuit.And, circuit.Nand:
+				needAll = inVal == bitvec.One
+			default:
+				needAll = inVal == bitvec.Zero
+			}
+			cc := e.cc0
+			if inVal == bitvec.One {
+				cc = e.cc1
+			}
+			next, bestCost := -1, 0
+			for _, d := range g.Fanin {
+				if e.good.Get(d) != bitvec.X {
+					continue
+				}
+				cost := cc[d]
+				better := next < 0 || (needAll && cost > bestCost) || (!needAll && cost < bestCost)
+				if better {
+					next, bestCost = d, cost
+				}
+			}
+			if next < 0 {
+				return 0, 0, false
+			}
+			gate, val = next, inVal
+
+		case circuit.Xor, circuit.Xnor:
+			want := val
+			if g.Type == circuit.Xnor {
+				want ^= 1
+			}
+			parity := bitvec.Zero
+			chosen, extraX := -1, false
+			for _, d := range g.Fanin {
+				if dv := e.good.Get(d); dv == bitvec.X {
+					if chosen < 0 {
+						chosen = d
+					} else {
+						extraX = true
+					}
+				} else {
+					parity ^= dv
+				}
+			}
+			if chosen < 0 {
+				return 0, 0, false
+			}
+			target := want ^ parity
+			if extraX {
+				// Remaining X inputs get justified by later objectives;
+				// take the cheaper value for this one.
+				if e.cc1[chosen] < e.cc0[chosen] {
+					target = bitvec.One
+				} else {
+					target = bitvec.Zero
+				}
+			}
+			gate, val = chosen, target
+
+		default:
+			return 0, 0, false
+		}
+	}
+}

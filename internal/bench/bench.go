@@ -1,0 +1,216 @@
+// Package bench provides the evaluation workloads: a registry of
+// ISCAS89/ITC99 benchmark profiles and a deterministic test-cube
+// generator calibrated to them.
+//
+// The paper compressed test sets produced by commercial ATPG (Synopsys
+// DFT Compiler + TetraMAX) on the ISCAS89 and ITC99 circuits. Those exact
+// vector files are not redistributable, so each circuit is represented
+// here by a *profile* — scan length, pattern count, don't-care density
+// and dictionary size, taken from the paper and from the MinTest-era
+// literature the comparison rows rely on — and a generator that
+// synthesizes a cube set with the same three properties that drive
+// compression behaviour:
+//
+//  1. overall X density (Table 3's primary correlate of compression),
+//  2. clustered care bits (ATPG assigns contiguous cone inputs), and
+//  3. cross-pattern repetition (faults in one cone need similar
+//     assignments in many patterns), modeled by a Zipf-reused cluster
+//     library.
+//
+// Generation is fully deterministic per profile. A genuinely end-to-end
+// alternative — synthetic netlist, scan insertion, PODEM — lives in the
+// circuit/atpg packages; it produces the same qualitative structure and
+// is exercised by the soc_flow example and integration tests.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lzwtc/internal/bitvec"
+)
+
+// Profile describes one benchmark circuit's test set.
+type Profile struct {
+	Name     string
+	Suite    string  // "ISCAS89" or "ITC99"
+	ScanLen  int     // bits per scan pattern (scan cells + primary inputs)
+	Patterns int     // deterministic pattern count
+	XDensity float64 // published don't-care fraction of the test set
+	DictSize int     // N used for this circuit in the paper's Table 3
+	Seed     int64   // generator seed (fixed per profile)
+}
+
+// TotalBits returns the uncompressed test-set volume.
+func (p Profile) TotalBits() int { return p.ScanLen * p.Patterns }
+
+// profiles lists the twelve circuits of Table 3. Scan geometry for the
+// ISCAS89 circuits follows the MinTest-era test sets used throughout the
+// test-compression literature; ITC99 geometry is sized from the circuits'
+// flip-flop counts and the paper's dictionary choices.
+var profiles = []Profile{
+	{Name: "s5378", Suite: "ISCAS89", ScanLen: 214, Patterns: 111, XDensity: 0.7262, DictSize: 1024, Seed: 5378},
+	{Name: "s9234", Suite: "ISCAS89", ScanLen: 247, Patterns: 159, XDensity: 0.7300, DictSize: 1024, Seed: 9234},
+	{Name: "s13207", Suite: "ISCAS89", ScanLen: 700, Patterns: 236, XDensity: 0.9350, DictSize: 1024, Seed: 13207},
+	{Name: "s15850", Suite: "ISCAS89", ScanLen: 611, Patterns: 126, XDensity: 0.8356, DictSize: 1024, Seed: 15850},
+	{Name: "s35932", Suite: "ISCAS89", ScanLen: 1763, Patterns: 16, XDensity: 0.3530, DictSize: 128, Seed: 35932},
+	{Name: "s38417", Suite: "ISCAS89", ScanLen: 1664, Patterns: 99, XDensity: 0.6880, DictSize: 2048, Seed: 38417},
+	{Name: "s38584", Suite: "ISCAS89", ScanLen: 1464, Patterns: 136, XDensity: 0.8228, DictSize: 2048, Seed: 38584},
+	{Name: "b14", Suite: "ITC99", ScanLen: 277, Patterns: 420, XDensity: 0.9240, DictSize: 512, Seed: 114},
+	{Name: "b15", Suite: "ITC99", ScanLen: 485, Patterns: 410, XDensity: 0.9080, DictSize: 256, Seed: 115},
+	{Name: "b17", Suite: "ITC99", ScanLen: 1415, Patterns: 640, XDensity: 0.8240, DictSize: 512, Seed: 117},
+	{Name: "b20", Suite: "ITC99", ScanLen: 527, Patterns: 470, XDensity: 0.9200, DictSize: 1024, Seed: 120},
+	{Name: "b22", Suite: "ITC99", ScanLen: 767, Patterns: 450, XDensity: 0.9060, DictSize: 512, Seed: 122},
+}
+
+// Profiles returns all Table 3 profiles in paper order.
+func Profiles() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// Table1Names lists the five circuits of Tables 1, 2, 4, 5 and 6.
+func Table1Names() []string {
+	return []string{"s13207", "s15850", "s38417", "s38584", "s9234"}
+}
+
+// ByName looks a profile up.
+func ByName(name string) (Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("bench: unknown circuit %q", name)
+}
+
+// cluster is a contiguous care-bit footprint at a fixed scan offset —
+// the positions one fault's cone requirement assigns in a cube.
+type cluster struct {
+	offset, length int
+}
+
+// Generate synthesizes the profile's cube set. It is deterministic:
+// repeated calls return equal sets.
+//
+// The model: every scan position has a preferred value (the
+// non-controlling value its fault cones demand), and each cube is a union
+// of care clusters — contiguous cone footprints — whose bits take the
+// preferred value with a small flip probability (different faults
+// occasionally demand the opposite polarity). Cluster offsets are partly
+// reused from a growing library (the same cone is re-targeted by many
+// faults over the whole test set), so repeats are long-range and
+// imperfect: the structure a global LZW dictionary exploits better than a
+// bounded LZ77 window or a run-length coder.
+func (p Profile) Generate() *bitvec.CubeSet {
+	rng := rand.New(rand.NewSource(p.Seed))
+	cs := bitvec.NewCubeSet(p.ScanLen)
+	careTarget := int(float64(p.ScanLen) * (1 - p.XDensity))
+	if careTarget < 1 {
+		careTarget = 1
+	}
+
+	// Preferred value per scan position, skewed toward 0 (matching the
+	// published RLE behaviour on 0-filled streams).
+	pref := make([]bitvec.Bit, p.ScanLen)
+	for i := range pref {
+		if rng.Float64() < 0.25 {
+			pref[i] = bitvec.One
+		}
+	}
+
+	const (
+		flipProb     = 0.005 // residual per-bit noise between faults
+		polarityProb = 0.35  // chance a cluster use inverts its whole footprint
+		reuseProb    = 0.85  // chance a cluster re-targets a known cone
+		coneGroups   = 8     // fault-ordering phases (see below)
+		groupProb    = 0.80  // chance a cluster comes from the pattern's phase group
+	)
+
+	// The cone vocabulary must cover the per-pattern care demand a few
+	// times over, or patterns could not differ; beyond that, a small
+	// vocabulary is what compacted ATPG sets look like.
+	maxCones := 4 * careTarget / 20
+	if maxCones < 16 {
+		maxCones = 16
+	}
+
+	var library []cluster // recorded cone footprints (offset + length)
+
+	newCluster := func() cluster {
+		length := 4 + geometric(rng, 0.045) // mean ~25 care bits
+		if length > p.ScanLen {
+			length = p.ScanLen
+		}
+		return cluster{offset: rng.Intn(p.ScanLen - length + 1), length: length}
+	}
+
+	for pat := 0; pat < p.Patterns; pat++ {
+		cube := bitvec.New(p.ScanLen)
+		care := 0
+		// ATPG fault ordering: consecutive patterns target different cone
+		// groups, and a group is revisited only coneGroups patterns later —
+		// far outside a scan-chain-length LZ77 window but squarely inside
+		// the global LZW dictionary.
+		group := pat % coneGroups
+		stale := 0
+		for care < careTarget {
+			var c cluster
+			if stale < 8 && len(library) > 1 && (len(library) >= maxCones || rng.Float64() < reuseProb) {
+				if rng.Float64() < groupProb && len(library) > group {
+					// Draw from the pattern's phase group.
+					idx := group + coneGroups*rng.Intn(1+(len(library)-1-group)/coneGroups)
+					c = library[idx]
+				} else {
+					c = library[rng.Intn(len(library))]
+				}
+			} else {
+				c = newCluster()
+				library = append(library, c)
+				stale = 0
+			}
+			// Fault polarity: some faults demand the opposite value on the
+			// whole shared cone footprint. The dictionary learns both
+			// variants as alternative branches; a window or run coder
+			// cannot.
+			var polarity bitvec.Bit
+			if rng.Float64() < polarityProb {
+				polarity = 1
+			}
+			before := care
+			for i := 0; i < c.length && care < careTarget; i++ {
+				pos := c.offset + i
+				b := pref[pos] ^ polarity
+				if rng.Float64() < flipProb {
+					b ^= 1
+				}
+				if cube.Get(pos) == bitvec.X {
+					care++
+				}
+				cube.Set(pos, b)
+			}
+			// Force a fresh cone if reuse stops adding coverage, so the
+			// loop always progresses toward the care target.
+			if care == before {
+				stale++
+			} else {
+				stale = 0
+			}
+		}
+		if err := cs.Add(cube); err != nil {
+			panic(err) // generator constructs correct widths by design
+		}
+	}
+	return cs
+}
+
+// geometric samples a geometric variate with success probability q
+// (mean ~ (1-q)/q).
+func geometric(rng *rand.Rand, q float64) int {
+	n := 0
+	for rng.Float64() > q {
+		n++
+	}
+	return n
+}

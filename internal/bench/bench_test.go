@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"testing"
+
+	"lzwtc/internal/bitvec"
+	"lzwtc/internal/core"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 12 {
+		t.Fatalf("got %d profiles, want 12 (Table 3)", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %s", p.Name)
+		}
+		seen[p.Name] = true
+		if p.ScanLen <= 0 || p.Patterns <= 0 || p.DictSize <= 0 {
+			t.Errorf("%s: bad geometry %+v", p.Name, p)
+		}
+		if p.XDensity <= 0 || p.XDensity >= 1 {
+			t.Errorf("%s: bad X density %v", p.Name, p.XDensity)
+		}
+	}
+	for _, name := range Table1Names() {
+		if !seen[name] {
+			t.Errorf("Table 1 circuit %s missing from profiles", name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("s13207")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalBits() != 700*236 {
+		t.Fatalf("s13207 volume = %d", p.TotalBits())
+	}
+	if _, err := ByName("c6288"); err == nil {
+		t.Fatal("unknown circuit accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ByName("s5378")
+	a := p.Generate()
+	b := p.Generate()
+	if len(a.Cubes) != len(b.Cubes) {
+		t.Fatal("pattern counts differ across runs")
+	}
+	for i := range a.Cubes {
+		if !a.Cubes[i].Equal(b.Cubes[i]) {
+			t.Fatalf("cube %d differs across runs", i)
+		}
+	}
+}
+
+func TestGenerateMatchesProfile(t *testing.T) {
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			cs := p.Generate()
+			if cs.TotalBits() != p.TotalBits() {
+				t.Fatalf("volume %d, want %d", cs.TotalBits(), p.TotalBits())
+			}
+			if len(cs.Cubes) != p.Patterns {
+				t.Fatalf("patterns %d, want %d", len(cs.Cubes), p.Patterns)
+			}
+			got := cs.XDensity()
+			if diff := got - p.XDensity; diff > 0.02 || diff < -0.04 {
+				t.Errorf("X density %.4f, want %.4f +-(0.04,0.02)", got, p.XDensity)
+			}
+		})
+	}
+}
+
+func TestGeneratedCubesAreClustered(t *testing.T) {
+	// Care bits must arrive in runs, not salt-and-pepper: the mean care
+	// run length should comfortably exceed the Bernoulli expectation.
+	p, _ := ByName("s13207")
+	cs := p.Generate()
+	runs, total := 0, 0
+	for _, c := range cs.Cubes {
+		in := false
+		for i := 0; i < c.Len(); i++ {
+			care := c.Get(i) != bitvec.X
+			if care {
+				total++
+				if !in {
+					runs++
+					in = true
+				}
+			} else {
+				in = false
+			}
+		}
+	}
+	mean := float64(total) / float64(runs)
+	if mean < 3 {
+		t.Fatalf("mean care run %.2f, want clustered (>= 3)", mean)
+	}
+}
+
+func TestHeadlineCompressionBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload generation in -short mode")
+	}
+	// The reproduction target for s13207 (Table 1: 80.69%): the generated
+	// workload must land in the published band under the paper's
+	// configuration, and well above the no-dictionary floor.
+	p, _ := ByName("s13207")
+	stream := p.Generate().SerializeAligned(7)
+	cfg := core.Config{CharBits: 7, DictSize: p.DictSize, EntryBits: 63}
+	res, err := core.Compress(stream, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := 1 - float64(res.Stats.CompressedBits)/float64(p.TotalBits())
+	if r < 0.74 || r > 0.88 {
+		t.Fatalf("s13207 LZW ratio %.4f outside published band [0.74,0.88]", r)
+	}
+}
+
+func BenchmarkGenerateS13207(b *testing.B) {
+	p, _ := ByName("s13207")
+	for i := 0; i < b.N; i++ {
+		p.Generate()
+	}
+}

@@ -1,0 +1,145 @@
+// Package bitio provides MSB-first bit-level readers and writers used to
+// pack fixed-width LZW codes, LZ77 tokens and run-length codewords into
+// byte streams.
+//
+// All widths are in bits. A value written with WriteBits(v, n) occupies the
+// next n bit positions of the stream, most significant bit first, so the
+// byte stream is identical to what a hardware serializer shifting MSB-first
+// would produce.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnexpectedEOF is returned by Reader when fewer bits remain than
+// requested.
+var ErrUnexpectedEOF = errors.New("bitio: unexpected end of bit stream")
+
+// Writer accumulates bits MSB-first into an in-memory byte buffer.
+// The zero value is an empty writer ready for use.
+type Writer struct {
+	buf   []byte
+	acc   uint64 // pending bits, left-aligned within the low `nacc` bits
+	nacc  uint   // number of pending bits in acc
+	nbits int    // total bits written
+}
+
+// WriteBits appends the low n bits of v to the stream, MSB first.
+// n must be in [0, 64]; bits of v above position n-1 are ignored.
+func (w *Writer) WriteBits(v uint64, n int) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitio: WriteBits width %d out of range", n))
+	}
+	if n == 0 {
+		return
+	}
+	if n < 64 {
+		v &= (1 << uint(n)) - 1
+	}
+	w.nbits += n
+	// Feed bits from the most significant end of the n-bit field.
+	for n > 0 {
+		free := 8 - w.nacc%8
+		take := uint(n)
+		if take > free {
+			take = free
+		}
+		chunk := (v >> uint(n-int(take))) & ((1 << take) - 1)
+		w.acc = w.acc<<take | chunk
+		w.nacc += take
+		n -= int(take)
+		if w.nacc%8 == 0 {
+			w.buf = append(w.buf, byte(w.acc))
+			w.acc = 0
+			w.nacc = 0
+		}
+	}
+}
+
+// WriteBit appends a single bit (any nonzero b writes 1).
+func (w *Writer) WriteBit(b uint) {
+	if b != 0 {
+		w.WriteBits(1, 1)
+	} else {
+		w.WriteBits(0, 1)
+	}
+}
+
+// BitLen reports the total number of bits written so far.
+func (w *Writer) BitLen() int { return w.nbits }
+
+// Bytes returns the packed stream. The final partial byte, if any, is
+// zero-padded on the right. The returned slice is valid until the next
+// write.
+func (w *Writer) Bytes() []byte {
+	if w.nacc == 0 {
+		return w.buf
+	}
+	pad := 8 - w.nacc
+	last := byte(w.acc << pad)
+	return append(w.buf[:len(w.buf):len(w.buf)], last)
+}
+
+// Reset discards all written bits.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.acc = 0
+	w.nacc = 0
+	w.nbits = 0
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int // bit position of next read
+	lim int // total readable bits
+}
+
+// NewReader returns a Reader over buf exposing nbits readable bits.
+// If nbits is negative, all of buf (8*len(buf) bits) is readable.
+func NewReader(buf []byte, nbits int) *Reader {
+	if nbits < 0 || nbits > 8*len(buf) {
+		nbits = 8 * len(buf)
+	}
+	return &Reader{buf: buf, lim: nbits}
+}
+
+// ReadBits reads the next n bits (n in [0,64]) as an unsigned integer,
+// MSB first.
+func (r *Reader) ReadBits(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		return 0, fmt.Errorf("bitio: ReadBits width %d out of range", n)
+	}
+	if r.pos+n > r.lim {
+		return 0, ErrUnexpectedEOF
+	}
+	var v uint64
+	for n > 0 {
+		byteIdx := r.pos / 8
+		bitOff := uint(r.pos % 8)
+		avail := 8 - bitOff
+		take := uint(n)
+		if take > avail {
+			take = avail
+		}
+		chunk := uint64(r.buf[byteIdx]>>(avail-take)) & ((1 << take) - 1)
+		v = v<<take | chunk
+		r.pos += int(take)
+		n -= int(take)
+	}
+	return v, nil
+}
+
+// ReadBit reads one bit.
+func (r *Reader) ReadBit() (uint, error) {
+	v, err := r.ReadBits(1)
+	return uint(v), err
+}
+
+// Remaining reports how many readable bits are left.
+func (r *Reader) Remaining() int { return r.lim - r.pos }
+
+// Pos reports the current bit offset from the start of the stream.
+func (r *Reader) Pos() int { return r.pos }

@@ -1,0 +1,479 @@
+// Package bitvec implements three-valued (0/1/X) bit vectors and test-cube
+// sets.
+//
+// Scan test patterns produced by ATPG are partially specified: every bit is
+// 0, 1 or X (don't-care). The compression algorithms in this module consume
+// such vectors; the don't-care bits are what the paper's dynamic assignment
+// exploits. Vectors are stored two-plane — a value plane and a care plane —
+// packed 64 bits per word, so compatibility checks and chunk extraction are
+// word operations.
+//
+// Bit i of a Vector is stored at word i/64, bit position i%64 (LSB-first
+// within a word). Chunk(pos, n) returns n stream bits with stream bit pos+j
+// at result bit j.
+package bitvec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/bits"
+	"strings"
+)
+
+// Bit is a three-valued logic bit.
+type Bit uint8
+
+// Three-valued bit constants.
+const (
+	Zero Bit = iota // specified 0
+	One             // specified 1
+	X               // unspecified (don't-care)
+)
+
+// String returns "0", "1" or "X".
+func (b Bit) String() string {
+	switch b {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	default:
+		return "X"
+	}
+}
+
+// Vector is a fixed-length three-valued bit vector.
+// The zero value is an empty vector.
+type Vector struct {
+	n    int
+	val  []uint64 // value plane; bit forced 0 where care bit is 0
+	care []uint64 // care plane; 1 = specified
+}
+
+// New returns an all-X vector of length n.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	w := (n + 63) / 64
+	return &Vector{n: n, val: make([]uint64, w), care: make([]uint64, w)}
+}
+
+// Len returns the number of bits in v.
+func (v *Vector) Len() int { return v.n }
+
+// Get returns bit i.
+func (v *Vector) Get(i int) Bit {
+	v.check(i)
+	w, b := i/64, uint(i%64)
+	if v.care[w]>>b&1 == 0 {
+		return X
+	}
+	return Bit(v.val[w] >> b & 1)
+}
+
+// Set assigns bit i.
+func (v *Vector) Set(i int, b Bit) {
+	v.check(i)
+	w, off := i/64, uint(i%64)
+	mask := uint64(1) << off
+	switch b {
+	case Zero:
+		v.care[w] |= mask
+		v.val[w] &^= mask
+	case One:
+		v.care[w] |= mask
+		v.val[w] |= mask
+	default:
+		v.care[w] &^= mask
+		v.val[w] &^= mask
+	}
+}
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Chunk extracts n bits (n in [0,64]) starting at stream position pos.
+// Stream bit pos+j appears at bit j of the returned value and care words.
+// Positions at or beyond Len() read as X (care 0), so a stream may be
+// consumed in fixed-size characters with implicit don't-care padding.
+func (v *Vector) Chunk(pos, n int) (val, care uint64) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitvec: chunk width %d out of range", n))
+	}
+	if pos < 0 {
+		panic("bitvec: negative chunk position")
+	}
+	val = v.window(v.val, pos)
+	care = v.window(v.care, pos)
+	if n < 64 {
+		mask := uint64(1)<<uint(n) - 1
+		val &= mask
+		care &= mask
+	}
+	return val, care
+}
+
+// window fetches 64 bits of plane starting at bit pos, zero-extended
+// beyond the end of the vector.
+func (v *Vector) window(plane []uint64, pos int) uint64 {
+	w, off := pos/64, uint(pos%64)
+	var lo, hi uint64
+	if w < len(plane) {
+		lo = plane[w]
+	}
+	if off == 0 {
+		return lo
+	}
+	if w+1 < len(plane) {
+		hi = plane[w+1]
+	}
+	return lo>>off | hi<<(64-off)
+}
+
+// SetChunk assigns n concrete bits starting at position pos: stream bit
+// pos+j becomes bit j of val (0 or 1, always specified). Bits beyond Len()
+// are silently dropped, mirroring Chunk's X padding.
+func (v *Vector) SetChunk(pos, n int, val uint64) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitvec: chunk width %d out of range", n))
+	}
+	for j := 0; j < n; j++ {
+		i := pos + j
+		if i >= v.n {
+			return
+		}
+		v.Set(i, Bit(val>>uint(j)&1))
+	}
+}
+
+// CareCount returns the number of specified bits.
+func (v *Vector) CareCount() int {
+	total := 0
+	for _, w := range v.care {
+		total += popcount(w)
+	}
+	return total
+}
+
+// XCount returns the number of don't-care bits.
+func (v *Vector) XCount() int { return v.n - v.CareCount() }
+
+// XDensity returns the fraction of don't-care bits, in [0,1].
+// An empty vector has density 0.
+func (v *Vector) XDensity() float64 {
+	if v.n == 0 {
+		return 0
+	}
+	return float64(v.XCount()) / float64(v.n)
+}
+
+// Equal reports whether v and u have the same length and identical bits
+// (X compares equal only to X).
+func (v *Vector) Equal(u *Vector) bool {
+	if v.n != u.n {
+		return false
+	}
+	for i := range v.val {
+		if v.care[i] != u.care[i] || v.val[i]&v.care[i] != u.val[i]&u.care[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CompatibleWith reports whether concrete u agrees with v on every
+// specified bit of v. u must be fully specified and the same length;
+// it returns false otherwise. This is the correctness contract for a
+// decompressed test stream: every care bit preserved.
+func (v *Vector) CompatibleWith(u *Vector) bool {
+	if v.n != u.n || u.XCount() != 0 {
+		return false
+	}
+	for i := range v.val {
+		if (v.val[i]^u.val[i])&v.care[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of v.
+func (v *Vector) Clone() *Vector {
+	c := New(v.n)
+	copy(c.val, v.val)
+	copy(c.care, v.care)
+	return c
+}
+
+// FillPolicy selects how residual don't-care bits are concretized.
+type FillPolicy uint8
+
+// Fill policies.
+const (
+	FillZero   FillPolicy = iota // X -> 0 (minimum-transition for RLE)
+	FillOne                      // X -> 1
+	FillRepeat                   // X -> previous concrete bit (0 at start)
+)
+
+// String names the policy.
+func (p FillPolicy) String() string {
+	switch p {
+	case FillZero:
+		return "zero"
+	case FillOne:
+		return "one"
+	case FillRepeat:
+		return "repeat"
+	default:
+		return fmt.Sprintf("FillPolicy(%d)", uint8(p))
+	}
+}
+
+// Filled returns a fully specified copy of v with X bits assigned per
+// policy p.
+func (v *Vector) Filled(p FillPolicy) *Vector {
+	c := v.Clone()
+	last := Bit(Zero)
+	for i := 0; i < c.n; i++ {
+		b := c.Get(i)
+		if b == X {
+			switch p {
+			case FillZero:
+				b = Zero
+			case FillOne:
+				b = One
+			case FillRepeat:
+				b = last
+			}
+			c.Set(i, b)
+		}
+		last = b
+	}
+	return c
+}
+
+// Parse builds a vector from a string of '0', '1', 'X'/'x'/'-'.
+func Parse(s string) (*Vector, error) {
+	v := New(len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+			v.Set(i, Zero)
+		case '1':
+			v.Set(i, One)
+		case 'X', 'x', '-':
+			// already X
+		default:
+			return nil, fmt.Errorf("bitvec: invalid character %q at position %d", s[i], i)
+		}
+	}
+	return v, nil
+}
+
+// MustParse is Parse that panics on error, for tests and literals.
+func MustParse(s string) *Vector {
+	v, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// String renders the vector as '0'/'1'/'X' characters.
+func (v *Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		sb.WriteString(v.Get(i).String())
+	}
+	return sb.String()
+}
+
+// Concat returns the concatenation of vs as a single vector.
+func Concat(vs ...*Vector) *Vector {
+	total := 0
+	for _, v := range vs {
+		total += v.n
+	}
+	out := New(total)
+	pos := 0
+	for _, v := range vs {
+		for i := 0; i < v.n; i++ {
+			if b := v.Get(i); b != X {
+				out.Set(pos+i, b)
+			}
+		}
+		pos += v.n
+	}
+	return out
+}
+
+// CubeSet is an ordered collection of equal-width test cubes — the test
+// set for one core, one cube per scan pattern.
+type CubeSet struct {
+	Width int
+	Cubes []*Vector
+}
+
+// NewCubeSet returns an empty cube set of the given pattern width.
+func NewCubeSet(width int) *CubeSet {
+	return &CubeSet{Width: width}
+}
+
+// Add appends a cube; it must match the set width.
+func (cs *CubeSet) Add(v *Vector) error {
+	if v.Len() != cs.Width {
+		return fmt.Errorf("bitvec: cube width %d != set width %d", v.Len(), cs.Width)
+	}
+	cs.Cubes = append(cs.Cubes, v)
+	return nil
+}
+
+// TotalBits returns the uncompressed test-set volume in bits.
+func (cs *CubeSet) TotalBits() int { return cs.Width * len(cs.Cubes) }
+
+// XDensity returns the overall don't-care fraction of the set.
+func (cs *CubeSet) XDensity() float64 {
+	if cs.TotalBits() == 0 {
+		return 0
+	}
+	x := 0
+	for _, c := range cs.Cubes {
+		x += c.XCount()
+	}
+	return float64(x) / float64(cs.TotalBits())
+}
+
+// Serialize concatenates all cubes into the single scan-in stream the
+// compressor consumes (pattern 0 first), matching the paper's
+// single-scan-chain evaluation.
+func (cs *CubeSet) Serialize() *Vector {
+	return Concat(cs.Cubes...)
+}
+
+// SerializeAligned is Serialize with every pattern padded (with X bits)
+// to the next multiple of charBits, so each scan vector starts on an LZW
+// character boundary. This models the decompressor flushing its output
+// shifter at the capture cycle between patterns; the pad bits are
+// don't-cares and the compressor assigns them freely. Compression ratios
+// must still be computed against TotalBits (the unpadded volume).
+func (cs *CubeSet) SerializeAligned(charBits int) *Vector {
+	if charBits <= 1 || cs.Width%charBits == 0 {
+		return cs.Serialize()
+	}
+	w := (cs.Width + charBits - 1) / charBits * charBits
+	out := New(w * len(cs.Cubes))
+	for p, c := range cs.Cubes {
+		base := p * w
+		for i := 0; i < c.Len(); i++ {
+			if b := c.Get(i); b != X {
+				out.Set(base+i, b)
+			}
+		}
+	}
+	return out
+}
+
+// DeserializeAligned inverts SerializeAligned: it splits a concrete
+// stream produced under charBits alignment back into cubes of the given
+// width, dropping the per-pattern pad bits.
+func DeserializeAligned(stream *Vector, width, charBits int) (*CubeSet, error) {
+	w := width
+	if charBits > 1 {
+		w = (width + charBits - 1) / charBits * charBits
+	}
+	if w <= 0 {
+		return nil, fmt.Errorf("bitvec: invalid width %d", width)
+	}
+	if stream.Len()%w != 0 {
+		return nil, fmt.Errorf("bitvec: stream length %d not a multiple of padded width %d", stream.Len(), w)
+	}
+	cs := NewCubeSet(width)
+	for pos := 0; pos < stream.Len(); pos += w {
+		c := New(width)
+		for i := 0; i < width; i++ {
+			if b := stream.Get(pos + i); b != X {
+				c.Set(i, b)
+			}
+		}
+		cs.Cubes = append(cs.Cubes, c)
+	}
+	return cs, nil
+}
+
+// Deserialize splits a stream back into cubes of the set's width.
+// The stream length must be a multiple of Width.
+func Deserialize(stream *Vector, width int) (*CubeSet, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("bitvec: invalid width %d", width)
+	}
+	if stream.Len()%width != 0 {
+		return nil, fmt.Errorf("bitvec: stream length %d not a multiple of width %d", stream.Len(), width)
+	}
+	cs := NewCubeSet(width)
+	for pos := 0; pos < stream.Len(); pos += width {
+		c := New(width)
+		for i := 0; i < width; i++ {
+			if b := stream.Get(pos + i); b != X {
+				c.Set(i, b)
+			}
+		}
+		cs.Cubes = append(cs.Cubes, c)
+	}
+	return cs, nil
+}
+
+// ReadCubes parses a text cube file: one cube per line of '0'/'1'/'X',
+// blank lines and lines starting with '#' ignored. All cubes must have
+// equal width.
+func ReadCubes(r io.Reader) (*CubeSet, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var cs *CubeSet
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		v, err := Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if cs == nil {
+			cs = NewCubeSet(v.Len())
+		}
+		if err := cs.Add(v); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cs == nil {
+		return nil, fmt.Errorf("bitvec: no cubes in input")
+	}
+	return cs, nil
+}
+
+// WriteCubes writes the set in the text format ReadCubes parses.
+func (cs *CubeSet) WriteCubes(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range cs.Cubes {
+		if _, err := bw.WriteString(c.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }

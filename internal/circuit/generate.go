@@ -1,0 +1,151 @@
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig parameterizes the synthetic netlist generator.
+type GenConfig struct {
+	Name     string
+	Inputs   int // primary inputs
+	Outputs  int // primary outputs
+	DFFs     int // state elements (scan cells after insertion)
+	Comb     int // combinational gates
+	MaxFanin int // 2..MaxFanin inputs per multi-input gate (default 4)
+	Seed     int64
+}
+
+// Validate reports whether the generator configuration is usable.
+func (g GenConfig) Validate() error {
+	if g.Inputs < 1 || g.Outputs < 1 || g.Comb < 1 {
+		return fmt.Errorf("circuit: generator needs >=1 input, output and gate (%+v)", g)
+	}
+	if g.DFFs < 0 {
+		return fmt.Errorf("circuit: negative DFF count")
+	}
+	if g.MaxFanin != 0 && g.MaxFanin < 2 {
+		return fmt.Errorf("circuit: MaxFanin %d < 2", g.MaxFanin)
+	}
+	return nil
+}
+
+// Generate builds a random acyclic sequential netlist with the given
+// shape, deterministically from the seed. Combinational gates draw their
+// fanins from earlier nodes with a recency bias (creating the long,
+// reconvergent cones ATPG cares about); flip-flop data inputs and primary
+// outputs are drawn from the deepest third of the logic.
+func Generate(cfg GenConfig) (*Circuit, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	maxFanin := cfg.MaxFanin
+	if maxFanin == 0 {
+		maxFanin = 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := New(cfg.Name)
+
+	var sources []int
+	for i := 0; i < cfg.Inputs; i++ {
+		id, _ := c.AddGate(fmt.Sprintf("pi%d", i), Input)
+		sources = append(sources, id)
+	}
+	// Flip-flops are declared first (their outputs are sources); data
+	// inputs are patched after the logic exists.
+	for i := 0; i < cfg.DFFs; i++ {
+		id, _ := c.AddGate(fmt.Sprintf("ff%d", i), DFF)
+		sources = append(sources, id)
+	}
+
+	types := []GateType{And, Nand, Or, Nor, Xor, Xnor, Not, Buf}
+	weights := []int{20, 20, 20, 20, 8, 4, 6, 2}
+	totalW := 0
+	for _, w := range weights {
+		totalW += w
+	}
+
+	pool := append([]int(nil), sources...)
+	pickNode := func() int {
+		// Recency bias: quadratic skew toward the newest nodes builds
+		// depth instead of a shallow fanout soup.
+		r := rng.Float64()
+		idx := int(float64(len(pool)) * (1 - r*r))
+		if idx >= len(pool) {
+			idx = len(pool) - 1
+		}
+		return pool[idx]
+	}
+
+	for i := 0; i < cfg.Comb; i++ {
+		w := rng.Intn(totalW)
+		var gt GateType
+		for k, wk := range weights {
+			if w < wk {
+				gt = types[k]
+				break
+			}
+			w -= wk
+		}
+		nIn := 1
+		if gt != Not && gt != Buf {
+			nIn = 2 + rng.Intn(maxFanin-1)
+			if nIn > len(pool) {
+				nIn = len(pool)
+			}
+			if nIn < 2 { // degenerate tiny configs: fall back to an inverter
+				gt, nIn = Not, 1
+			}
+		}
+		fanin := make([]int, 0, nIn)
+		for len(fanin) < nIn {
+			cand := pickNode()
+			dup := false
+			for _, f := range fanin {
+				if f == cand {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				fanin = append(fanin, cand)
+			}
+		}
+		id, _ := c.AddGate(fmt.Sprintf("g%d", i), gt, fanin...)
+		pool = append(pool, id)
+	}
+
+	// Deep nodes feed state and outputs.
+	deep := pool[len(pool)-max(1, len(pool)/3):]
+	for _, ffID := range c.DFFs {
+		c.Gates[ffID].Fanin = []int{deep[rng.Intn(len(deep))]}
+	}
+	if cfg.Outputs > len(pool) {
+		return nil, fmt.Errorf("circuit: %d outputs requested from %d nets", cfg.Outputs, len(pool))
+	}
+	seen := map[int]bool{}
+	for len(c.Outputs) < cfg.Outputs {
+		cand := deep[rng.Intn(len(deep))]
+		if seen[cand] {
+			// Fall back to any node when the deep pool is exhausted.
+			cand = pool[rng.Intn(len(pool))]
+			if seen[cand] {
+				continue
+			}
+		}
+		seen[cand] = true
+		c.MarkOutput(cand)
+	}
+	c.fanout = nil
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("circuit: generated netlist invalid: %w", err)
+	}
+	return c, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+
+	"lzwtc/internal/bitio"
+	"lzwtc/internal/bitvec"
+)
+
+// Stats summarizes one compression run.
+type Stats struct {
+	InputBits      int // uncompressed stream length (before char padding)
+	Chars          int // characters consumed (ceil(InputBits/C_C))
+	CodesEmitted   int // total codes in the output
+	CompressedBits int // CodesEmitted * C_E
+	LiteralCodes   int // emitted codes in the literal range
+	StringCodes    int // emitted codes in the dictionary range
+	DictEntries    int // string entries created (net of resets)
+	DictResets     int // FullReset occurrences
+	MaxMatchChars  int // longest emitted string, in characters
+	MaxEntryChars  int // longest dictionary string created, in characters
+	ResidualFills  int // characters concretized by the fill policy
+	DynamicFills   int // X-laden characters concretized by a dictionary walk
+}
+
+// Ratio returns the compression ratio (1 - compressed/original) in [0,1].
+// Negative values indicate expansion.
+func (s Stats) Ratio() float64 {
+	if s.InputBits == 0 {
+		return 0
+	}
+	return 1 - float64(s.CompressedBits)/float64(s.InputBits)
+}
+
+// Result is a compressed test stream: the code sequence plus everything
+// needed to invert it.
+type Result struct {
+	Cfg       Config
+	Codes     []Code
+	InputBits int
+	Stats     Stats
+}
+
+// Pack serializes the code sequence as fixed-width C_E-bit codes, MSB
+// first — exactly the bit stream the ATE would feed the decompressor.
+func (r *Result) Pack() []byte {
+	var w bitio.Writer
+	cb := r.Cfg.CodeBits()
+	for _, c := range r.Codes {
+		w.WriteBits(uint64(c), cb)
+	}
+	return w.Bytes()
+}
+
+// UnpackCodes parses n fixed-width codes from a packed stream.
+func UnpackCodes(data []byte, n int, cfg Config) ([]Code, error) {
+	r := bitio.NewReader(data, -1)
+	cb := cfg.CodeBits()
+	codes := make([]Code, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := r.ReadBits(cb)
+		if err != nil {
+			return nil, fmt.Errorf("core: truncated code stream at code %d: %w", i, err)
+		}
+		codes = append(codes, Code(v))
+	}
+	return codes, nil
+}
+
+// TraceEntry describes a dictionary entry creation in a trace.
+type TraceEntry struct {
+	Code Code
+	Str  string // the entry's uncompressed bits
+}
+
+// TraceEvent reports one compressor step, mirroring the columns of the
+// paper's Figure 3 (Buffer, Input, Output, dictionary action).
+type TraceEvent struct {
+	Step      int
+	Buffer    string // contents of the Buffer memory element ("2" or bits)
+	BufferStr string // uncompressed bits the buffer represents
+	Input     string // current input character after X assignment ("" at end)
+	RawInput  string // current input character as read (may contain X)
+	Emitted   *Code  // code appended to the compressed output, if any
+	NewEntry  *TraceEntry
+}
+
+// Compress compresses a three-valued stream under cfg.
+func Compress(stream *bitvec.Vector, cfg Config) (*Result, error) {
+	return CompressTrace(stream, cfg, nil)
+}
+
+// CompressTrace is Compress with an optional per-step trace callback
+// (used to regenerate the paper's Figure 3).
+func CompressTrace(stream *bitvec.Vector, cfg Config, trace func(TraceEvent)) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return compressInternal(stream, cfg, trace, func() (*dict, error) { return newDict(cfg), nil })
+}
+
+// compressWithDict is the preloaded-dictionary entry point.
+func compressWithDict(stream *bitvec.Vector, cfg Config, mk func() (*dict, error)) (*Result, error) {
+	return compressInternal(stream, cfg, nil, mk)
+}
+
+func compressInternal(stream *bitvec.Vector, cfg Config, trace func(TraceEvent), mk func() (*dict, error)) (*Result, error) {
+	res := &Result{Cfg: cfg, InputBits: stream.Len()}
+	res.Stats.InputBits = stream.Len()
+	if stream.Len() == 0 {
+		return res, nil
+	}
+
+	cc := cfg.CharBits
+	nChars := (stream.Len() + cc - 1) / cc
+	fullMask := uint64(1)<<uint(cc) - 1
+	d, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	e := &encoder{cfg: cfg, d: d, res: res, trace: trace, fullMask: fullMask}
+
+	// Step a of Figure 3: the first message character initializes Buffer.
+	val, care := stream.Chunk(0, cc)
+	first := e.fill(val, care)
+	if care != fullMask {
+		res.Stats.ResidualFills++
+	}
+	buffer := Code(first)
+	e.emitTrace(buffer, charBits(first, cc), charBits(first, cc), rawChar(stream, 0, cc), nil, nil)
+
+	for i := 1; i < nChars; i++ {
+		val, care := stream.Chunk(i*cc, cc)
+		raw := rawChar(stream, i*cc, cc)
+		if child, ok := d.findChild(buffer, val, care, fullMask); ok {
+			// Dynamic don't-care assignment: the X bits of this character
+			// are bound to the child's character, extending the match.
+			if care != fullMask {
+				res.Stats.DynamicFills++
+			}
+			e.lastBit = d.lastChar[child] >> uint(cc-1) & 1
+			buffer = child
+			e.emitTrace(buffer, bufferLabel(d, buffer, cc), stringBits(d, buffer, cc), raw, nil, nil)
+			continue
+		}
+		// No continuation: emit Buffer, concretize the character residually,
+		// record the new dictionary entry, restart from the literal.
+		e.emit(buffer)
+		concrete := e.fill(val, care)
+		if care != fullMask {
+			res.Stats.ResidualFills++
+		}
+		var newEntry *TraceEntry
+		if c, ok := d.add(buffer, concrete); ok {
+			res.Stats.DictEntries++
+			if n := d.len(c); n > res.Stats.MaxEntryChars {
+				res.Stats.MaxEntryChars = n
+			}
+			newEntry = &TraceEntry{Code: c, Str: stringBits(d, c, cc)}
+		}
+		emitted := res.Codes[len(res.Codes)-1]
+		buffer = Code(concrete)
+		e.emitTrace(buffer, charBits(concrete, cc), charBits(concrete, cc), raw, &emitted, newEntry)
+	}
+	// Figure 3k: the final Buffer completes the compressed output.
+	e.emit(buffer)
+	last := res.Codes[len(res.Codes)-1]
+	e.emitTrace(buffer, bufferLabel(d, buffer, cc), stringBits(d, buffer, cc), "", &last, nil)
+
+	res.Stats.Chars = nChars
+	res.Stats.CodesEmitted = len(res.Codes)
+	res.Stats.CompressedBits = len(res.Codes) * cfg.CodeBits()
+	res.Stats.DictResets = d.resets
+	return res, nil
+}
+
+type encoder struct {
+	cfg      Config
+	d        *dict
+	res      *Result
+	trace    func(TraceEvent)
+	fullMask uint64
+	lastBit  uint64
+	step     int
+}
+
+func (e *encoder) emit(c Code) {
+	e.res.Codes = append(e.res.Codes, c)
+	if n := e.d.len(c); n > e.res.Stats.MaxMatchChars {
+		e.res.Stats.MaxMatchChars = n
+	}
+	if c < e.d.firstCode {
+		e.res.Stats.LiteralCodes++
+	} else {
+		e.res.Stats.StringCodes++
+	}
+}
+
+// fill concretizes a three-valued character per the residual fill policy.
+// Bit j of the character is stream bit pos+j, so ascending j is stream
+// order, which FillRepeat relies on.
+func (e *encoder) fill(val, care uint64) uint64 {
+	out := uint64(0)
+	for j := 0; j < e.cfg.CharBits; j++ {
+		var b uint64
+		if care>>uint(j)&1 == 1 {
+			b = val >> uint(j) & 1
+		} else {
+			switch e.cfg.Fill {
+			case FillZero:
+				b = 0
+			case FillOne:
+				b = 1
+			case FillRepeat:
+				b = e.lastBit
+			}
+		}
+		out |= b << uint(j)
+		e.lastBit = b
+	}
+	return out
+}
+
+func (e *encoder) emitTrace(buffer Code, bufLabel, bufStr, raw string, emitted *Code, entry *TraceEntry) {
+	if e.trace == nil {
+		return
+	}
+	ev := TraceEvent{
+		Step:      e.step,
+		Buffer:    bufLabel,
+		BufferStr: bufStr,
+		RawInput:  raw,
+		Emitted:   emitted,
+		NewEntry:  entry,
+	}
+	if raw != "" {
+		ev.Input = bufStr[len(bufStr)-e.cfg.CharBits:]
+	}
+	e.trace(ev)
+	e.step++
+}
+
+// charBits renders a character value as C_C bits in stream order
+// (stream-earliest bit first).
+func charBits(v uint64, cc int) string {
+	b := make([]byte, cc)
+	for j := 0; j < cc; j++ {
+		b[j] = '0' + byte(v>>uint(j)&1)
+	}
+	return string(b)
+}
+
+// stringBits renders the uncompressed bits of a code in stream order.
+func stringBits(d *dict, c Code, cc int) string {
+	chars := d.stringOf(c, nil)
+	out := make([]byte, 0, len(chars)*cc)
+	for _, ch := range chars {
+		out = append(out, charBits(ch, cc)...)
+	}
+	return string(out)
+}
+
+// bufferLabel renders a buffer for traces: literals as their bits,
+// string codes as the decimal code, matching Figure 3's convention.
+func bufferLabel(d *dict, c Code, cc int) string {
+	if c < d.firstCode {
+		return charBits(uint64(c), cc)
+	}
+	return fmt.Sprintf("%d", c)
+}
+
+// rawChar renders the three-valued character at stream position pos.
+func rawChar(v *bitvec.Vector, pos, cc int) string {
+	b := make([]byte, cc)
+	for j := 0; j < cc; j++ {
+		if pos+j >= v.Len() {
+			b[j] = 'X'
+			continue
+		}
+		b[j] = v.Get(pos + j).String()[0]
+	}
+	return string(b)
+}

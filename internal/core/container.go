@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// containerMagic identifies the self-describing compressed-file format
+// produced by Encode. The trailing digit is the format version.
+var containerMagic = []byte("LZWTC1")
+
+// Encode serializes a Result into a self-describing byte container:
+// magic, configuration, original bit length, code count, then the packed
+// C_E-bit code stream. This is the on-disk/ATE-file format; the raw code
+// stream alone is available via Pack.
+func (r *Result) Encode() []byte {
+	var buf bytes.Buffer
+	buf.Write(containerMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf.Write(tmp[:n])
+	}
+	putUvarint(uint64(r.Cfg.CharBits))
+	putUvarint(uint64(r.Cfg.DictSize))
+	putUvarint(uint64(r.Cfg.EntryBits))
+	putUvarint(uint64(r.Cfg.Fill))
+	putUvarint(uint64(r.Cfg.Tie))
+	putUvarint(uint64(r.Cfg.Full))
+	putUvarint(uint64(r.InputBits))
+	putUvarint(uint64(len(r.Codes)))
+	buf.Write(r.Pack())
+	return buf.Bytes()
+}
+
+// Decode parses a container produced by Encode. The returned Result has
+// Codes, Cfg and InputBits populated; Stats is reconstructed from the
+// stream dimensions only.
+func Decode(data []byte) (*Result, error) {
+	if !bytes.HasPrefix(data, containerMagic) {
+		return nil, fmt.Errorf("core: not an LZWTC1 container")
+	}
+	rd := bytes.NewReader(data[len(containerMagic):])
+	read := func() (uint64, error) { return binary.ReadUvarint(rd) }
+	var fields [8]uint64
+	for i := range fields {
+		v, err := read()
+		if err != nil {
+			return nil, fmt.Errorf("core: truncated container header: %w", err)
+		}
+		fields[i] = v
+	}
+	cfg := Config{
+		CharBits:  int(fields[0]),
+		DictSize:  int(fields[1]),
+		EntryBits: int(fields[2]),
+		Fill:      FillPolicy(fields[3]),
+		Tie:       TieBreak(fields[4]),
+		Full:      FullPolicy(fields[5]),
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	inputBits := int(fields[6])
+	nCodes := int(fields[7])
+	rest := data[len(data)-rd.Len():]
+	want := (nCodes*cfg.CodeBits() + 7) / 8
+	if len(rest) < want {
+		return nil, fmt.Errorf("core: container code stream truncated: have %d bytes, want %d", len(rest), want)
+	}
+	codes, err := UnpackCodes(rest, nCodes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Cfg: cfg, Codes: codes, InputBits: inputBits}
+	res.Stats.InputBits = inputBits
+	res.Stats.CodesEmitted = nCodes
+	res.Stats.CompressedBits = nCodes * cfg.CodeBits()
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"lzwtc/internal/bitvec"
+)
+
+// DecompressTraceEvent reports one decompressor step, mirroring the
+// columns of the paper's Figure 4.
+type DecompressTraceEvent struct {
+	Step     int
+	Input    Code   // compressed character consumed
+	Buffer   string // previous code (Buffer register), "" on the first step
+	Output   string // uncompressed bits appended to the output
+	NewEntry *TraceEntry
+	Special  bool // the not-yet-defined-code case (Figure 4f)
+}
+
+// Decompress inverts a code sequence produced by Compress under the same
+// configuration. outBits is the original stream length; the decompressed
+// stream is truncated to it (the final character may have been X-padded).
+// The returned vector is fully specified.
+func Decompress(codes []Code, cfg Config, outBits int) (*bitvec.Vector, error) {
+	return DecompressTrace(codes, cfg, outBits, nil)
+}
+
+// DecompressTrace is Decompress with an optional per-step trace callback
+// (used to regenerate the paper's Figure 4).
+func DecompressTrace(codes []Code, cfg Config, outBits int, trace func(DecompressTraceEvent)) (*bitvec.Vector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return decompressWithDict(codes, cfg, outBits, trace, func() (*dict, error) { return newDict(cfg), nil })
+}
+
+func decompressWithDict(codes []Code, cfg Config, outBits int, trace func(DecompressTraceEvent), mk func() (*dict, error)) (*bitvec.Vector, error) {
+	if outBits < 0 {
+		return nil, fmt.Errorf("core: negative output length %d", outBits)
+	}
+	out := bitvec.New(outBits)
+	if len(codes) == 0 {
+		if outBits != 0 {
+			return nil, fmt.Errorf("core: empty code stream for %d output bits", outBits)
+		}
+		return out, nil
+	}
+
+	cc := cfg.CharBits
+	d, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	pos := 0
+	prev := noCode
+	var scratch []uint64
+
+	writeChars := func(chars []uint64) {
+		for _, ch := range chars {
+			out.SetChunk(pos, cc, ch)
+			pos += cc
+		}
+	}
+
+	for step, c := range codes {
+		// Mirror the compressor's ordering: its dictionary-add attempt —
+		// including any FullReset — happened after emitting the previous
+		// code and before emitting this one, so the add must be prepared
+		// before this code is interpreted.
+		pending := false
+		if prev != noCode {
+			pending = d.prepareAdd(prev)
+		}
+
+		special := false
+		scratch = scratch[:0]
+		switch {
+		case d.defined(c):
+			scratch = d.stringOf(c, scratch)
+		case pending && c == d.next:
+			// Figure 4f: the code references the entry about to be created.
+			// Its string is string(prev) + firstChar(prev).
+			scratch = d.stringOf(prev, scratch)
+			scratch = append(scratch, d.firstChar[prev])
+			special = true
+		default:
+			return nil, fmt.Errorf("core: code %d at position %d is undefined (next free %d)", c, step, d.next)
+		}
+
+		var entry *TraceEntry
+		if pending {
+			nc := d.commitAdd(prev, scratch[0])
+			entry = &TraceEntry{Code: nc, Str: stringBits(d, nc, cc)}
+			if special && nc != c {
+				return nil, fmt.Errorf("core: special-case entry mismatch: created %d, referenced %d", nc, c)
+			}
+		}
+
+		if pos+len(scratch)*cc < pos { // overflow guard
+			return nil, fmt.Errorf("core: output overflow")
+		}
+		if trace != nil {
+			outStr := ""
+			for _, ch := range scratch {
+				outStr += charBits(ch, cc)
+			}
+			buf := ""
+			if prev != noCode {
+				buf = bufferLabel(d, prev, cc)
+			}
+			trace(DecompressTraceEvent{Step: step, Input: c, Buffer: buf, Output: outStr, NewEntry: entry, Special: special})
+		}
+		writeChars(scratch)
+		prev = c
+	}
+
+	produced := pos
+	if produced < outBits {
+		return nil, fmt.Errorf("core: code stream produced %d bits, need %d", produced, outBits)
+	}
+	if produced-outBits >= cc {
+		return nil, fmt.Errorf("core: code stream produced %d bits, more than a character beyond %d", produced, outBits)
+	}
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package core
+
+// dict is the shared dictionary model used by both the compressor and the
+// software decompressor. Codes below firstCode are literals; string codes
+// record their parent code, last character and length, which is all either
+// direction needs (the compressor walks forward through children, the
+// decompressor materializes strings by walking parents).
+type dict struct {
+	cfg       Config
+	firstCode Code
+	next      Code
+	resets    int
+
+	// Per-code metadata, indexed by code. Literal codes are implicit:
+	// parent invalid, lastChar = code, length 1.
+	parent    []Code
+	lastChar  []uint64
+	firstChar []uint64
+	length    []int32
+
+	// children[code] maps a concrete character value to the child code
+	// representing string(code)+char. Allocated lazily.
+	children []map[uint64]Code
+}
+
+const noCode = ^Code(0)
+
+func newDict(cfg Config) *dict {
+	n := cfg.DictSize
+	d := &dict{
+		cfg:       cfg,
+		firstCode: Code(cfg.Literals()),
+		parent:    make([]Code, n),
+		lastChar:  make([]uint64, n),
+		firstChar: make([]uint64, n),
+		length:    make([]int32, n),
+		children:  make([]map[uint64]Code, n),
+	}
+	for c := 0; c < cfg.Literals(); c++ {
+		d.parent[c] = noCode
+		d.lastChar[c] = uint64(c)
+		d.firstChar[c] = uint64(c)
+		d.length[c] = 1
+	}
+	d.next = d.firstCode
+	return d
+}
+
+// full reports whether every code has been assigned.
+func (d *dict) full() bool { return int(d.next) >= d.cfg.DictSize }
+
+// reset discards all string entries (FullReset policy).
+func (d *dict) reset() {
+	for c := Code(0); c < d.next; c++ {
+		d.children[c] = nil
+	}
+	d.next = d.firstCode
+	d.resets++
+}
+
+// len returns the string length of code c in characters.
+func (d *dict) len(c Code) int { return int(d.length[c]) }
+
+// defined reports whether c currently names a literal or string entry.
+func (d *dict) defined(c Code) bool {
+	return c < d.firstCode || (c >= d.firstCode && c < d.next)
+}
+
+// add attempts to register string(parent)+char under the next free code.
+// It enforces the C_MDATA bound (no string longer than MaxChars) and the
+// dictionary-full policy. It returns the new code and true when an entry
+// was created.
+func (d *dict) add(parent Code, char uint64) (Code, bool) {
+	if !d.prepareAdd(parent) {
+		return noCode, false
+	}
+	return d.commitAdd(parent, char), true
+}
+
+// prepareAdd applies the entry-length bound and the dictionary-full policy
+// (including a FullReset reset) and reports whether an entry with the given
+// parent can be created. The compressor calls it through add; the
+// decompressor calls it *before* materializing the next code, because the
+// compressor's corresponding add — and any reset it triggers — happened
+// before that code was emitted.
+func (d *dict) prepareAdd(parent Code) bool {
+	if d.len(parent)+1 > d.cfg.MaxChars() {
+		return false
+	}
+	if d.full() {
+		if d.cfg.Full == FullFreeze {
+			return false
+		}
+		d.reset()
+		// After a reset the parent code may no longer be defined (it was a
+		// string entry). The compressor and decompressor both skip the add
+		// in that case, keeping the two sides in lockstep.
+		if !d.defined(parent) {
+			return false
+		}
+	}
+	return true
+}
+
+// commitAdd registers string(parent)+char under the next free code after a
+// successful prepareAdd.
+func (d *dict) commitAdd(parent Code, char uint64) Code {
+	c := d.next
+	d.next++
+	d.parent[c] = parent
+	d.lastChar[c] = char
+	d.firstChar[c] = d.firstChar[parent]
+	d.length[c] = d.length[parent] + 1
+	if d.children[parent] == nil {
+		d.children[parent] = make(map[uint64]Code)
+	}
+	d.children[parent][char] = c
+	return c
+}
+
+// findChild looks for a child of code whose character is compatible with
+// the three-valued character (val, care): child & care == val. When the
+// character is fully specified this is a map lookup; otherwise candidates
+// are ranked by the configured tie-break. The second result reports
+// whether a child was found.
+func (d *dict) findChild(code Code, val, care uint64, fullMask uint64) (Code, bool) {
+	kids := d.children[code]
+	if len(kids) == 0 {
+		return noCode, false
+	}
+	if care == fullMask {
+		c, ok := kids[val]
+		return c, ok
+	}
+	best := noCode
+	bestWidth := -1
+	for char, child := range kids {
+		if char&care != val {
+			continue
+		}
+		switch d.cfg.Tie {
+		case TieOldest:
+			if best == noCode || child < best {
+				best = child
+			}
+		case TieNewest:
+			if best == noCode || child > best {
+				best = child
+			}
+		case TieWidest:
+			w := len(d.children[child])
+			if w > bestWidth || (w == bestWidth && (best == noCode || child < best)) {
+				best, bestWidth = child, w
+			}
+		}
+	}
+	if best == noCode {
+		return noCode, false
+	}
+	return best, true
+}
+
+// stringOf materializes the uncompressed characters of code c, oldest
+// character first. It appends into dst and returns the extended slice.
+func (d *dict) stringOf(c Code, dst []uint64) []uint64 {
+	start := len(dst)
+	for cur := c; ; cur = d.parent[cur] {
+		dst = append(dst, d.lastChar[cur])
+		if d.parent[cur] == noCode {
+			break
+		}
+	}
+	// Reverse the appended tail: parents were walked newest-first.
+	for i, j := start, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+	return dst
+}

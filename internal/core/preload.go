@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"lzwtc/internal/bitvec"
+)
+
+// Preload is a static warm-start dictionary: concrete character strings
+// installed into the dictionary before compression or decompression
+// begins. The paper's conclusion suggests amortizing the decompressor by
+// making it "part of normal operation"; a preloaded dictionary is the
+// natural next step — the ATE (or the BIST controller, through the
+// Figure 6 port) writes a trained dictionary into the embedded memory
+// once, and every subsequent test session starts warm.
+//
+// Strings must be prefix-closed in order: each string is inserted by
+// walking existing entries and must extend the dictionary by exactly its
+// last character (Train produces exactly this form).
+type Preload struct {
+	Strings [][]uint64
+}
+
+// Entries returns the number of preloaded strings.
+func (p *Preload) Entries() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.Strings)
+}
+
+// preload installs the strings into a fresh dictionary.
+func (d *dict) preload(p *Preload) error {
+	if p == nil {
+		return nil
+	}
+	maxChars := d.cfg.MaxChars()
+	for i, s := range p.Strings {
+		if len(s) < 2 {
+			return fmt.Errorf("core: preload string %d has %d chars; literals are implicit", i, len(s))
+		}
+		if len(s) > maxChars {
+			return fmt.Errorf("core: preload string %d has %d chars, entry bound is %d", i, len(s), maxChars)
+		}
+		if d.full() {
+			return fmt.Errorf("core: preload overflows the dictionary at string %d", i)
+		}
+		// Walk the prefix; it must already exist.
+		cur := Code(s[0])
+		if int(s[0]) >= d.cfg.Literals() {
+			return fmt.Errorf("core: preload string %d starts with invalid character %d", i, s[0])
+		}
+		for k := 1; k < len(s)-1; k++ {
+			child, ok := d.children[cur][s[k]]
+			if !ok {
+				return fmt.Errorf("core: preload string %d is not prefix-closed at char %d", i, k)
+			}
+			cur = child
+		}
+		last := s[len(s)-1]
+		if _, dup := d.children[cur][last]; dup {
+			return fmt.Errorf("core: preload string %d duplicates an entry", i)
+		}
+		d.commitAdd(cur, last)
+	}
+	return nil
+}
+
+// Train builds a preload dictionary from a training stream: it compresses
+// the stream under cfg and keeps the first maxEntries dictionary strings
+// in creation order, which is prefix-closed by construction. maxEntries
+// of 0 keeps everything the training run built.
+func Train(stream *bitvec.Vector, cfg Config, maxEntries int) (*Preload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Full == FullReset {
+		return nil, fmt.Errorf("core: training with FullReset would not be prefix-closed")
+	}
+	d := newDict(cfg)
+	// Compress the training stream, then replay its code sequence: the
+	// decoder-side rebuild yields the same dictionary deterministically.
+	res, err := Compress(stream, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := replayInto(d, res.Codes); err != nil {
+		return nil, err
+	}
+	n := int(d.next) - cfg.Literals()
+	if maxEntries > 0 && maxEntries < n {
+		n = maxEntries
+	}
+	p := &Preload{Strings: make([][]uint64, 0, n)}
+	for i := 0; i < n; i++ {
+		c := Code(cfg.Literals() + i)
+		p.Strings = append(p.Strings, d.stringOf(c, nil))
+	}
+	return p, nil
+}
+
+// replayInto rebuilds the decoder-side dictionary for a code sequence.
+func replayInto(d *dict, codes []Code) (int, error) {
+	prev := noCode
+	var scratch []uint64
+	for i, c := range codes {
+		pending := false
+		if prev != noCode {
+			pending = d.prepareAdd(prev)
+		}
+		scratch = scratch[:0]
+		switch {
+		case d.defined(c):
+			scratch = d.stringOf(c, scratch)
+		case pending && c == d.next:
+			scratch = d.stringOf(prev, scratch)
+			scratch = append(scratch, d.firstChar[prev])
+		default:
+			return 0, fmt.Errorf("core: replay hit undefined code %d at %d", c, i)
+		}
+		if pending {
+			d.commitAdd(prev, scratch[0])
+		}
+		prev = c
+	}
+	return int(d.next), nil
+}
+
+// CompressWithPreload is Compress starting from a warm dictionary. The
+// decompressor must be given the same preload.
+func CompressWithPreload(stream *bitvec.Vector, cfg Config, pre *Preload) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if pre.Entries() == 0 {
+		return Compress(stream, cfg)
+	}
+	if cfg.Full == FullReset {
+		return nil, fmt.Errorf("core: FullReset would discard the preloaded dictionary inconsistently")
+	}
+	// Compress via the normal path but with a preloaded dictionary: the
+	// implementation mirrors CompressTrace with a custom dict factory.
+	return compressWithDict(stream, cfg, func() (*dict, error) {
+		d := newDict(cfg)
+		if err := d.preload(pre); err != nil {
+			return nil, err
+		}
+		return d, nil
+	})
+}
+
+// DecompressWithPreload inverts CompressWithPreload.
+func DecompressWithPreload(codes []Code, cfg Config, pre *Preload, outBits int) (*bitvec.Vector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if pre.Entries() == 0 {
+		return Decompress(codes, cfg, outBits)
+	}
+	if cfg.Full == FullReset {
+		return nil, fmt.Errorf("core: FullReset would discard the preloaded dictionary inconsistently")
+	}
+	return decompressWithDict(codes, cfg, outBits, nil, func() (*dict, error) {
+		d := newDict(cfg)
+		if err := d.preload(pre); err != nil {
+			return nil, err
+		}
+		return d, nil
+	})
+}

@@ -1,0 +1,75 @@
+package decomp
+
+import (
+	"fmt"
+
+	"lzwtc/internal/core"
+)
+
+// Predict computes, in closed form, the download time the cycle-accurate
+// model measures: per code, the input shifter collects C_E bits on
+// tester edges, then the FSM spends one decode cycle, one optional
+// dictionary-write cycle and one cycle per output bit. It replays only
+// the dictionary's *length* bookkeeping, so it runs in O(codes) instead
+// of O(cycles) — used by the experiment sweeps and as an independent
+// check on the simulator (they must agree exactly; see the tests).
+func Predict(codes []core.Code, cfg core.Config, ratio int) (testerCycles, internalCycles int, err error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if cfg.EntryBits == 0 || cfg.Full != core.FullFreeze {
+		return 0, 0, fmt.Errorf("decomp: Predict models the hardware configuration only")
+	}
+	if ratio < 1 {
+		return 0, 0, fmt.Errorf("decomp: clock ratio %d must be >= 1", ratio)
+	}
+	cc := cfg.CharBits
+	ce := cfg.CodeBits()
+	maxChars := cfg.MaxChars()
+	literals := core.Code(cfg.Literals())
+
+	// Length bookkeeping replica of the decoder dictionary.
+	lens := make([]int, cfg.DictSize)
+	for i := 0; i < cfg.Literals(); i++ {
+		lens[i] = 1
+	}
+	next := literals
+	prevLen := 0
+	havePrev := false
+
+	cycle := 0
+	for idx, c := range codes {
+		// LOAD: the input shifter needs C_E fresh bits; deliveries land on
+		// internal cycles that are multiples of the clock ratio, starting
+		// at or after the current cycle, and the FSM leaves LOAD on the
+		// cycle after the last delivery.
+		first := (cycle + ratio - 1) / ratio * ratio
+		cycle = first + (ce-1)*ratio + 1
+
+		pending := havePrev && prevLen+1 <= maxChars && int(next) < cfg.DictSize
+
+		var l int
+		switch {
+		case c < literals:
+			l = 1
+		case c < next:
+			l = lens[c]
+		case pending && c == next:
+			l = prevLen + 1
+		default:
+			return 0, 0, fmt.Errorf("decomp: undefined code %d at position %d", c, idx)
+		}
+
+		cycle++ // DECODE
+		if pending {
+			lens[next] = prevLen + 1
+			next++
+			cycle++ // WRITE
+		}
+		cycle += l * cc // SHIFT
+
+		prevLen = l
+		havePrev = true
+	}
+	return (cycle + ratio - 1) / ratio, cycle, nil
+}

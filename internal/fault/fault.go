@@ -1,0 +1,125 @@
+// Package fault models single stuck-at faults on gate terminals, the
+// fault universe ATPG and fault simulation work against.
+package fault
+
+import (
+	"fmt"
+
+	"lzwtc/internal/bitvec"
+	"lzwtc/internal/circuit"
+	"lzwtc/internal/sim"
+)
+
+// Fault is a single stuck-at fault. Pin -1 places it on the gate's
+// output stem; 0..len(Fanin)-1 on an input branch.
+type Fault struct {
+	Gate int
+	Pin  int
+	SA   bitvec.Bit // Zero or One
+}
+
+// String renders "g12/out s-a-1" or "g12/in0 s-a-0".
+func (f Fault) String() string {
+	loc := "out"
+	if f.Pin >= 0 {
+		loc = fmt.Sprintf("in%d", f.Pin)
+	}
+	return fmt.Sprintf("#%d/%s s-a-%v", f.Gate, loc, f.SA)
+}
+
+// Name renders the fault with the gate's netlist name.
+func (f Fault) Name(c *circuit.Circuit) string {
+	loc := "out"
+	if f.Pin >= 0 {
+		loc = fmt.Sprintf("in%d", f.Pin)
+	}
+	return fmt.Sprintf("%s/%s s-a-%v", c.Gates[f.Gate].Name, loc, f.SA)
+}
+
+// All enumerates the standard structural fault list: stuck-at-0/1 on
+// every gate output (stem), plus stuck-at-0/1 on every input branch
+// whose driving net fans out to more than one sink (single-fanout
+// connections are equivalent to the driver's stem faults).
+func All(c *circuit.Circuit) []Fault {
+	fanout := c.Fanout()
+	var fs []Fault
+	for id, g := range c.Gates {
+		fs = append(fs, Fault{Gate: id, Pin: -1, SA: bitvec.Zero}, Fault{Gate: id, Pin: -1, SA: bitvec.One})
+		if g.Type == circuit.Input {
+			continue
+		}
+		for pin, drv := range g.Fanin {
+			if len(fanout[drv]) > 1 {
+				fs = append(fs, Fault{Gate: id, Pin: pin, SA: bitvec.Zero}, Fault{Gate: id, Pin: pin, SA: bitvec.One})
+			}
+		}
+	}
+	return fs
+}
+
+// Collapse removes structurally equivalent faults from the list using
+// gate-local equivalence:
+//
+//	AND:  input s-a-0 ≡ output s-a-0     NAND: input s-a-0 ≡ output s-a-1
+//	OR:   input s-a-1 ≡ output s-a-1     NOR:  input s-a-1 ≡ output s-a-0
+//	BUF/NOT/DFF: both input faults ≡ the corresponding output faults
+//
+// Only the representative (the output-side fault) is kept.
+func Collapse(c *circuit.Circuit, fs []Fault) []Fault {
+	out := fs[:0:0]
+	for _, f := range fs {
+		if f.Pin < 0 {
+			out = append(out, f)
+			continue
+		}
+		g := c.Gates[f.Gate]
+		drop := false
+		switch g.Type {
+		case circuit.And, circuit.Nand:
+			drop = f.SA == bitvec.Zero
+		case circuit.Or, circuit.Nor:
+			drop = f.SA == bitvec.One
+		case circuit.Buf, circuit.Not, circuit.DFF:
+			drop = true
+		}
+		if !drop {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// SiteGate returns the gate whose output value the fault perturbs: the
+// gate itself for both stem and input-branch faults (a branch fault
+// changes how this gate evaluates).
+func (f Fault) SiteGate() int { return f.Gate }
+
+// Injector returns a function for sim.State.ApplyFaulty that applies
+// this fault during evaluation.
+//
+// For a stem fault the gate's computed output is replaced by the stuck
+// value. For an input-branch fault, the gate is re-evaluated with the
+// faulty pin forced; this keeps injection independent of evaluation
+// order.
+func (f Fault) Injector(c *circuit.Circuit, get func(id int) bitvec.Bit) func(id int, val bitvec.Bit) bitvec.Bit {
+	if f.Pin < 0 {
+		return func(id int, val bitvec.Bit) bitvec.Bit {
+			if id == f.Gate {
+				return f.SA
+			}
+			return val
+		}
+	}
+	g := c.Gates[f.Gate]
+	in := make([]bitvec.Bit, len(g.Fanin))
+	return func(id int, val bitvec.Bit) bitvec.Bit {
+		if id != f.Gate {
+			return val
+		}
+		for k, d := range g.Fanin {
+			in[k] = get(d)
+		}
+		in[f.Pin] = f.SA
+		return sim.Eval(g.Type, in)
+	}
+}

@@ -1,0 +1,117 @@
+package fault
+
+import (
+	"testing"
+
+	"lzwtc/internal/bitvec"
+	"lzwtc/internal/circuit"
+	"lzwtc/internal/sim"
+)
+
+func TestAllFaultsC17(t *testing.T) {
+	c := circuit.C17()
+	fs := All(c)
+	// 11 gates -> 22 stem faults. Fanout stems: N3 (N10,N11), N11
+	// (N16,N19), N16 (N22,N23) -> 6 branch pins -> 12 branch faults.
+	if len(fs) != 22+12 {
+		t.Fatalf("fault count = %d, want 34", len(fs))
+	}
+	branches := 0
+	for _, f := range fs {
+		if f.Pin >= 0 {
+			branches++
+		}
+	}
+	if branches != 12 {
+		t.Fatalf("branch faults = %d", branches)
+	}
+}
+
+func TestCollapseC17(t *testing.T) {
+	c := circuit.C17()
+	fs := Collapse(c, All(c))
+	// All gates are NANDs: input s-a-0 collapses into output s-a-1,
+	// removing 6 of the 12 branch faults.
+	if len(fs) != 34-6 {
+		t.Fatalf("collapsed count = %d, want 28", len(fs))
+	}
+	for _, f := range fs {
+		if f.Pin >= 0 && f.SA == bitvec.Zero && c.Gates[f.Gate].Type == circuit.Nand {
+			t.Fatalf("NAND input s-a-0 survived collapsing: %v", f)
+		}
+	}
+}
+
+func TestCollapseInverterChain(t *testing.T) {
+	c := circuit.New("inv")
+	a, _ := c.AddGate("a", circuit.Input)
+	b, _ := c.AddGate("b", circuit.Input)
+	n1, _ := c.AddGate("n1", circuit.Not, a)
+	n2, _ := c.AddGate("o", circuit.Or, n1, b)
+	// Give n1 fanout 2 so its branch faults exist before collapsing.
+	n3, _ := c.AddGate("n3", circuit.Buf, n1)
+	c.MarkOutput(n2)
+	c.MarkOutput(n3)
+	fs := All(c)
+	cl := Collapse(c, fs)
+	for _, f := range cl {
+		if f.Pin >= 0 {
+			g := c.Gates[f.Gate]
+			if g.Type == circuit.Not || g.Type == circuit.Buf {
+				t.Fatalf("inverter/buffer input fault survived: %v", f)
+			}
+			if g.Type == circuit.Or && f.SA == bitvec.One {
+				t.Fatalf("OR input s-a-1 survived: %v", f)
+			}
+		}
+	}
+}
+
+func TestStringAndName(t *testing.T) {
+	c := circuit.C17()
+	f := Fault{Gate: 5, Pin: -1, SA: bitvec.One}
+	if f.String() == "" || f.Name(c) == "" {
+		t.Fatal("empty rendering")
+	}
+	f2 := Fault{Gate: 5, Pin: 1, SA: bitvec.Zero}
+	if f2.String() == f.String() {
+		t.Fatal("pin fault renders like stem fault")
+	}
+}
+
+func TestInjectorStem(t *testing.T) {
+	cb, _ := circuit.NewComb(circuit.C17())
+	st := sim.NewState(cb)
+	id, _ := cb.C.ByName("N10")
+	f := Fault{Gate: id, Pin: -1, SA: bitvec.Zero}
+	inj := f.Injector(cb.C, st.Get)
+	if err := st.ApplyFaulty(bitvec.MustParse("00000"), inj); err != nil {
+		t.Fatal(err)
+	}
+	if st.Get(id) != bitvec.Zero {
+		t.Fatalf("stem fault not injected: N10 = %v", st.Get(id))
+	}
+	// Good value would be 1 (NAND of 0,0); downstream N22 = NAND(N10,N16):
+	// faulty N10=0 forces N22=1.
+	n22, _ := cb.C.ByName("N22")
+	if st.Get(n22) != bitvec.One {
+		t.Fatalf("fault effect not propagated: N22 = %v", st.Get(n22))
+	}
+}
+
+func TestInjectorPin(t *testing.T) {
+	cb, _ := circuit.NewComb(circuit.C17())
+	st := sim.NewState(cb)
+	n16, _ := cb.C.ByName("N16")
+	// N16 = NAND(N2, N11); fault pin 0 (N2 side) s-a-1.
+	f := Fault{Gate: n16, Pin: 0, SA: bitvec.One}
+	inj := f.Injector(cb.C, st.Get)
+	// N2=0, N3=1, N6=1 -> N11 = 0 -> good N16 = 1 regardless. Choose
+	// N3=1,N6=0 so N11=1: good N16 = NAND(0,1) = 1, faulty = NAND(1,1)=0.
+	if err := st.ApplyFaulty(bitvec.MustParse("00100"), inj); err != nil {
+		t.Fatal(err)
+	}
+	if st.Get(n16) != bitvec.Zero {
+		t.Fatalf("pin fault value: N16 = %v, want 0", st.Get(n16))
+	}
+}

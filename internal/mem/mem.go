@@ -1,0 +1,161 @@
+// Package mem models the embedded core memory the LZW decompressor
+// reuses (Section 5.2, Figure 6 of the paper): a word-addressable SRAM
+// with arbitrary word width, an input-mux wrapper that arbitrates between
+// functional access, memory BIST and the LZW decompressor, a March C-
+// BIST engine, and stuck-at fault injection so the BIST reuse can be
+// demonstrated end to end.
+package mem
+
+import "fmt"
+
+// SRAM is a word-addressable memory of `words` words, each `width` bits.
+// Words are stored little-endian across uint64 limbs: bit b of a word
+// lives at limb b/64, position b%64.
+type SRAM struct {
+	words int
+	width int
+	limbs int
+	data  []uint64
+	// stuck maps (addr, bit) -> forced value, modeling cell stuck-at
+	// faults for BIST demonstrations. Applied on read.
+	stuck map[[2]int]uint64
+}
+
+// New returns a zeroed SRAM.
+func New(words, width int) *SRAM {
+	if words <= 0 || width <= 0 {
+		panic(fmt.Sprintf("mem: invalid geometry %dx%d", words, width))
+	}
+	limbs := (width + 63) / 64
+	return &SRAM{words: words, width: width, limbs: limbs, data: make([]uint64, words*limbs)}
+}
+
+// Words returns the address-space size.
+func (m *SRAM) Words() int { return m.words }
+
+// Width returns the word width in bits.
+func (m *SRAM) Width() int { return m.width }
+
+// Bits returns the total capacity in bits.
+func (m *SRAM) Bits() int { return m.words * m.width }
+
+// Read copies word addr into dst (allocating if nil or short) and
+// returns it. Stuck-at faults are applied to the returned value.
+func (m *SRAM) Read(addr int, dst []uint64) []uint64 {
+	m.check(addr)
+	if cap(dst) < m.limbs {
+		dst = make([]uint64, m.limbs)
+	}
+	dst = dst[:m.limbs]
+	copy(dst, m.data[addr*m.limbs:(addr+1)*m.limbs])
+	for k, v := range m.stuck {
+		if k[0] != addr {
+			continue
+		}
+		limb, off := k[1]/64, uint(k[1]%64)
+		dst[limb] = dst[limb]&^(1<<off) | v<<off
+	}
+	return dst
+}
+
+// Write stores src into word addr. Missing high limbs are treated as
+// zero; bits beyond the word width are ignored.
+func (m *SRAM) Write(addr int, src []uint64) {
+	m.check(addr)
+	row := m.data[addr*m.limbs : (addr+1)*m.limbs]
+	for i := range row {
+		var v uint64
+		if i < len(src) {
+			v = src[i]
+		}
+		row[i] = v
+	}
+	// Mask slack bits of the top limb so reads compare cleanly.
+	if r := m.width % 64; r != 0 {
+		row[m.limbs-1] &= 1<<uint(r) - 1
+	}
+}
+
+// InjectStuckAt forces bit `bit` of word addr to v (0 or 1) on every
+// subsequent read, modeling a faulty cell.
+func (m *SRAM) InjectStuckAt(addr, bit int, v uint64) {
+	m.check(addr)
+	if bit < 0 || bit >= m.width {
+		panic(fmt.Sprintf("mem: bit %d out of word width %d", bit, m.width))
+	}
+	if m.stuck == nil {
+		m.stuck = make(map[[2]int]uint64)
+	}
+	m.stuck[[2]int{addr, bit}] = v & 1
+}
+
+// ClearFaults removes all injected faults.
+func (m *SRAM) ClearFaults() { m.stuck = nil }
+
+func (m *SRAM) check(addr int) {
+	if addr < 0 || addr >= m.words {
+		panic(fmt.Sprintf("mem: address %d out of range [0,%d)", addr, m.words))
+	}
+}
+
+// Source identifies who owns the memory port (the Figure 6 muxes).
+type Source uint8
+
+// Port owners.
+const (
+	SrcFunctional Source = iota // normal circuit operation
+	SrcBIST                     // memory BIST engine
+	SrcLZW                      // LZW decompressor
+)
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case SrcFunctional:
+		return "functional"
+	case SrcBIST:
+		return "bist"
+	case SrcLZW:
+		return "lzw"
+	default:
+		return fmt.Sprintf("Source(%d)", uint8(s))
+	}
+}
+
+// Shared wraps an SRAM behind the Figure 6 input muxes: exactly one
+// source owns the port at a time, and accesses from any other source are
+// rejected — the contract that lets production test logic reuse a
+// functional memory without interfering with it.
+type Shared struct {
+	ram   *SRAM
+	owner Source
+}
+
+// NewShared wraps ram with functional ownership.
+func NewShared(ram *SRAM) *Shared { return &Shared{ram: ram, owner: SrcFunctional} }
+
+// Select switches the mux to src.
+func (s *Shared) Select(src Source) { s.owner = src }
+
+// Owner reports the current port owner.
+func (s *Shared) Owner() Source { return s.owner }
+
+// Read performs a read on behalf of src.
+func (s *Shared) Read(src Source, addr int, dst []uint64) ([]uint64, error) {
+	if src != s.owner {
+		return nil, fmt.Errorf("mem: %v access while port owned by %v", src, s.owner)
+	}
+	return s.ram.Read(addr, dst), nil
+}
+
+// Write performs a write on behalf of src.
+func (s *Shared) Write(src Source, addr int, val []uint64) error {
+	if src != s.owner {
+		return fmt.Errorf("mem: %v access while port owned by %v", src, s.owner)
+	}
+	s.ram.Write(addr, val)
+	return nil
+}
+
+// RAM exposes the underlying SRAM geometry (not its port).
+func (s *Shared) RAM() *SRAM { return s.ram }

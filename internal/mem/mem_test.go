@@ -1,0 +1,159 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWrite(t *testing.T) {
+	m := New(4, 70) // two limbs per word
+	m.Write(2, []uint64{0xDEADBEEF, 0x3F})
+	got := m.Read(2, nil)
+	if got[0] != 0xDEADBEEF || got[1] != 0x3F {
+		t.Fatalf("read = %#x", got)
+	}
+	if v := m.Read(0, nil); v[0] != 0 || v[1] != 0 {
+		t.Fatalf("unwritten word = %#x", v)
+	}
+}
+
+func TestWidthMasking(t *testing.T) {
+	m := New(2, 10)
+	m.Write(0, []uint64{0xFFFF})
+	if got := m.Read(0, nil)[0]; got != 0x3FF {
+		t.Fatalf("read = %#x, want 0x3FF (10-bit mask)", got)
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	m := New(1024, 490)
+	if m.Bits() != 1024*490 {
+		t.Fatalf("Bits = %d", m.Bits())
+	}
+	if m.Words() != 1024 || m.Width() != 490 {
+		t.Fatalf("geometry %dx%d", m.Words(), m.Width())
+	}
+}
+
+func TestStuckAtFault(t *testing.T) {
+	m := New(4, 8)
+	m.InjectStuckAt(1, 3, 1)
+	m.Write(1, []uint64{0})
+	if got := m.Read(1, nil)[0]; got != 0b1000 {
+		t.Fatalf("stuck-at-1 read = %#b", got)
+	}
+	m.ClearFaults()
+	if got := m.Read(1, nil)[0]; got != 0 {
+		t.Fatalf("after ClearFaults read = %#b", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	m := New(2, 8)
+	for _, f := range []func(){
+		func() { m.Read(2, nil) },
+		func() { m.Write(-1, nil) },
+		func() { m.InjectStuckAt(0, 8, 1) },
+		func() { New(0, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSharedArbitration(t *testing.T) {
+	s := NewShared(New(4, 8))
+	if _, err := s.Read(SrcLZW, 0, nil); err == nil {
+		t.Fatal("LZW access allowed while functional owns port")
+	}
+	s.Select(SrcLZW)
+	if err := s.Write(SrcLZW, 0, []uint64{0xAB}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(SrcBIST, 0, []uint64{0}); err == nil {
+		t.Fatal("BIST write allowed while LZW owns port")
+	}
+	got, err := s.Read(SrcLZW, 0, nil)
+	if err != nil || got[0] != 0xAB {
+		t.Fatalf("read = %#x err %v", got, err)
+	}
+	if s.Owner() != SrcLZW {
+		t.Fatalf("owner = %v", s.Owner())
+	}
+}
+
+func TestMarchCMinusPassesOnGoodMemory(t *testing.T) {
+	s := NewShared(New(16, 12))
+	s.Select(SrcBIST)
+	res, err := MarchCMinus(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("good memory failed: %v", res)
+	}
+	// March C- is 10N reads+writes for word-oriented backgrounds:
+	// 6 elements, 16 words, ops = 16*(1+2+2+2+2+1).
+	if res.Ops != 16*10 {
+		t.Fatalf("ops = %d, want %d", res.Ops, 160)
+	}
+}
+
+func TestMarchCMinusRequiresPort(t *testing.T) {
+	s := NewShared(New(4, 8)) // functional owns the port
+	if _, err := MarchCMinus(s); err == nil {
+		t.Fatal("BIST ran without port ownership")
+	}
+}
+
+// Property: March C- detects every single stuck-at cell fault and
+// reports its exact location.
+func TestQuickMarchDetectsStuckAt(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ram := New(rng.Intn(30)+2, rng.Intn(60)+2)
+		addr := rng.Intn(ram.Words())
+		bit := rng.Intn(ram.Width())
+		ram.InjectStuckAt(addr, bit, uint64(rng.Intn(2)))
+		s := NewShared(ram)
+		s.Select(SrcBIST)
+		res, err := MarchCMinus(s)
+		if err != nil {
+			return false
+		}
+		return !res.Pass && res.FailAddr == addr && res.FailBit == bit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: words are independent — writing one never disturbs others.
+func TestQuickWordIndependence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(8, 100)
+		ref := make([][]uint64, 8)
+		for i := range ref {
+			ref[i] = []uint64{rng.Uint64(), rng.Uint64() & (1<<36 - 1)}
+			m.Write(i, ref[i])
+		}
+		for i := range ref {
+			got := m.Read(i, nil)
+			if got[0] != ref[i][0] || got[1] != ref[i][1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package rle
+
+import (
+	"lzwtc/internal/bitio"
+	"lzwtc/internal/bitvec"
+)
+
+// Alternating is the alternating run-length code of Chandra &
+// Chakrabarty (DAC 2002 — the paper's reference [11]): the stream is
+// viewed as alternating runs of 0s and 1s, each run length FDR-coded.
+// Don't-cares are filled with the minimum-transition (repeat) policy, which
+// maximizes run lengths for this code. The first run is a 0-run by
+// convention and may have length zero.
+const Alternating Kind = 2
+
+// compressAlternating encodes the repeat-filled stream as alternating
+// FDR-coded run lengths.
+func compressAlternating(stream *bitvec.Vector, res *Result) {
+	filled := stream.Filled(bitvec.FillRepeat)
+	runs, maxRun := extractAlternatingRuns(filled)
+	res.Stats.Runs = len(runs)
+	res.Stats.MaxRun = maxRun
+	var w bitio.Writer
+	for _, r := range runs {
+		encodeFDR(&w, r)
+	}
+	res.Data, res.BitLen = w.Bytes(), w.BitLen()
+}
+
+// extractAlternatingRuns splits a concrete stream into alternating run
+// lengths, starting with a (possibly empty) 0-run.
+func extractAlternatingRuns(v *bitvec.Vector) (runs []int, maxRun int) {
+	cur := bitvec.Zero
+	run := 0
+	for i := 0; i < v.Len(); i++ {
+		b := v.Get(i)
+		if b == cur {
+			run++
+			continue
+		}
+		runs = append(runs, run)
+		if run > maxRun {
+			maxRun = run
+		}
+		cur = b
+		run = 1
+	}
+	if v.Len() > 0 {
+		runs = append(runs, run)
+		if run > maxRun {
+			maxRun = run
+		}
+	}
+	return runs, maxRun
+}
+
+// decompressAlternating inverts compressAlternating.
+func decompressAlternating(data []byte, bitLen, outBits int) (*bitvec.Vector, error) {
+	rd := bitio.NewReader(data, bitLen)
+	out := bitvec.New(outBits)
+	pos := 0
+	cur := bitvec.Zero
+	for pos < outBits {
+		r, err := decodeFDR(rd)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < r && pos < outBits; i++ {
+			out.Set(pos, cur)
+			pos++
+		}
+		cur ^= 1
+	}
+	return out, nil
+}

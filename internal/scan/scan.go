@@ -1,0 +1,152 @@
+// Package scan performs full-scan insertion and models scan-based test
+// application: every flip-flop becomes a scan cell on one or more scan
+// chains; test cubes address primary inputs and scan cells; responses
+// are captured from primary outputs and next-state values.
+//
+// Serialization follows the paper's evaluation setup — a single scan
+// chain whose input stream the compressor consumes — with the primary
+// inputs carried in the same per-pattern word (the tester applies them
+// in parallel while the chain shifts; for compression purposes they are
+// part of the pattern's bit budget, as in the paper's "Orig. Size").
+package scan
+
+import (
+	"fmt"
+
+	"lzwtc/internal/bitvec"
+	"lzwtc/internal/circuit"
+	"lzwtc/internal/sim"
+)
+
+// Chain is one scan chain: flip-flop gate ids in shift order (scan-in
+// first).
+type Chain struct {
+	Cells []int
+}
+
+// Design is a scan-inserted circuit.
+type Design struct {
+	C      *circuit.Circuit
+	Comb   *circuit.Comb
+	Chains []Chain
+}
+
+// Insert performs full-scan insertion, distributing the flip-flops over
+// nChains chains round-robin (the physical stitch order is irrelevant to
+// the compression method, which is scan-architecture-independent —
+// Section 1.2).
+func Insert(c *circuit.Circuit, nChains int) (*Design, error) {
+	if nChains < 1 {
+		return nil, fmt.Errorf("scan: need at least one chain")
+	}
+	if nChains > len(c.DFFs) && len(c.DFFs) > 0 {
+		nChains = len(c.DFFs)
+	}
+	cb, err := circuit.NewComb(c)
+	if err != nil {
+		return nil, err
+	}
+	d := &Design{C: c, Comb: cb}
+	if len(c.DFFs) == 0 {
+		d.Chains = []Chain{{}}
+		return d, nil
+	}
+	d.Chains = make([]Chain, nChains)
+	for i, ff := range c.DFFs {
+		k := i % nChains
+		d.Chains[k].Cells = append(d.Chains[k].Cells, ff)
+	}
+	return d, nil
+}
+
+// PatternWidth returns bits per test pattern: primary inputs plus scan
+// cells.
+func (d *Design) PatternWidth() int { return d.Comb.Width() }
+
+// ScanCycles returns the shift cycles needed per pattern: the longest
+// chain.
+func (d *Design) ScanCycles() int {
+	longest := 0
+	for _, ch := range d.Chains {
+		if len(ch.Cells) > longest {
+			longest = len(ch.Cells)
+		}
+	}
+	return longest
+}
+
+// Response is the captured output of one applied pattern.
+type Response struct {
+	POs       *bitvec.Vector // primary outputs
+	NextState *bitvec.Vector // values captured into the scan cells
+}
+
+// Apply evaluates one test pattern (PI bits then scan-cell bits, X
+// allowed) against the good machine and captures the response.
+func (d *Design) Apply(st *sim.State, pattern *bitvec.Vector) (*Response, error) {
+	if err := st.Apply(pattern); err != nil {
+		return nil, err
+	}
+	r := &Response{
+		POs:       bitvec.New(len(d.C.Outputs)),
+		NextState: bitvec.New(len(d.C.DFFs)),
+	}
+	for i, o := range d.C.Outputs {
+		r.POs.Set(i, st.Get(o))
+	}
+	for i, ff := range d.C.DFFs {
+		r.NextState.Set(i, st.Get(d.C.Gates[ff].Fanin[0]))
+	}
+	return r, nil
+}
+
+// ApplySet applies every cube of a set in order and returns the
+// responses.
+func (d *Design) ApplySet(cs *bitvec.CubeSet) ([]*Response, error) {
+	if cs.Width != d.PatternWidth() {
+		return nil, fmt.Errorf("scan: cube width %d, design needs %d", cs.Width, d.PatternWidth())
+	}
+	st := sim.NewState(d.Comb)
+	out := make([]*Response, 0, len(cs.Cubes))
+	for _, c := range cs.Cubes {
+		r, err := d.Apply(st, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ResponsesCompatible reports whether concrete responses (from applying
+// a filled test set) agree with cube responses (from the unfilled cubes)
+// on every specified bit — the check that don't-care filling by the
+// compressor preserved test behaviour.
+func ResponsesCompatible(cubeResp, filledResp []*Response) error {
+	if len(cubeResp) != len(filledResp) {
+		return fmt.Errorf("scan: response counts differ: %d vs %d", len(cubeResp), len(filledResp))
+	}
+	for i := range cubeResp {
+		if err := vecCompatible(cubeResp[i].POs, filledResp[i].POs); err != nil {
+			return fmt.Errorf("pattern %d POs: %w", i, err)
+		}
+		if err := vecCompatible(cubeResp[i].NextState, filledResp[i].NextState); err != nil {
+			return fmt.Errorf("pattern %d capture: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func vecCompatible(cube, filled *bitvec.Vector) error {
+	if cube.Len() != filled.Len() {
+		return fmt.Errorf("widths differ: %d vs %d", cube.Len(), filled.Len())
+	}
+	for i := 0; i < cube.Len(); i++ {
+		cb := cube.Get(i)
+		fb := filled.Get(i)
+		if cb != bitvec.X && fb != cb {
+			return fmt.Errorf("bit %d: cube expects %v, filled run produced %v", i, cb, fb)
+		}
+	}
+	return nil
+}
