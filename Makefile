@@ -1,0 +1,32 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build vet test race lzwtcvet fuzz verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race path covers the library packages; cmd/ and examples/ are
+# thin drivers over them.
+race:
+	$(GO) test -race ./internal/...
+
+# Repo-specific static analysis (bitwidth / droppederror / panicpolicy /
+# configbeforeuse). Non-zero exit on any finding.
+lzwtcvet:
+	$(GO) run ./cmd/lzwtcvet ./...
+
+# Bounded fuzz smoke: each target gets FUZZTIME of coverage-guided
+# input on top of its checked-in seed corpus.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzBitio -fuzztime=$(FUZZTIME) ./internal/bitio
+	$(GO) test -run='^$$' -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzUnpackCodes -fuzztime=$(FUZZTIME) ./internal/core
+
+verify: build vet test race lzwtcvet fuzz

@@ -83,7 +83,9 @@ func compress(args []string) error {
 	in := fs.String("in", "-", "input cube file (- for stdin)")
 	out := fs.String("out", "-", "output container (- for stdout)")
 	cfg := configFlags(fs)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	r, err := openIn(*in)
 	if err != nil {
@@ -106,6 +108,9 @@ func compress(args []string) error {
 	if _, err := w.Write(res.Encode()); err != nil {
 		return err
 	}
+	if err := w.Close(); err != nil {
+		return err
+	}
 	fmt.Fprintf(os.Stderr, "compressed %d patterns x %d bits: %d -> %d bits (%.2f%%)\n",
 		res.Patterns, res.Width, res.OriginalBits, res.CompressedBits(), 100*res.Ratio())
 	return nil
@@ -115,7 +120,9 @@ func decompress(args []string) error {
 	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
 	in := fs.String("in", "-", "input container (- for stdin)")
 	out := fs.String("out", "-", "output cube file (- for stdout)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	r, err := openIn(*in)
 	if err != nil {
@@ -139,13 +146,18 @@ func decompress(args []string) error {
 		return err
 	}
 	defer w.Close()
-	return ts.WriteCubes(w)
+	if err := ts.WriteCubes(w); err != nil {
+		return err
+	}
+	return w.Close()
 }
 
 func info(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	in := fs.String("in", "-", "input container (- for stdin)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	r, err := openIn(*in)
 	if err != nil {
@@ -177,7 +189,9 @@ func compare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	in := fs.String("in", "-", "input cube file (- for stdin)")
 	cfg := configFlags(fs)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	r, err := openIn(*in)
 	if err != nil {
@@ -227,7 +241,9 @@ func verify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	cubesPath := fs.String("cubes", "", "original cube file")
 	filledPath := fs.String("filled", "", "decompressed (fully specified) cube file")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cr, err := openIn(*cubesPath)
 	if err != nil {

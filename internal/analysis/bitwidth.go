@@ -1,0 +1,399 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// bitwidthCheck verifies that every width argument to
+// bitio.Writer.WriteBits / bitio.Reader.ReadBits is provably within
+// [0,64]. bitio defines width 0 as a no-op and widths outside [0,64]
+// as a hard fault, so an unproven width is a latent stream-corruption
+// or panic path.
+type bitwidthCheck struct{}
+
+func (bitwidthCheck) Name() string { return "bitwidth" }
+func (bitwidthCheck) Doc() string {
+	return "WriteBits/ReadBits widths must be provably in [0,64]: a constant, a validated-config accessor/field, bits.Len-bounded arithmetic, or an invariant.Width guard"
+}
+
+// interval is an inclusive integer range; known=false means unbounded.
+type interval struct {
+	lo, hi int64
+	known  bool
+}
+
+func exact(v int64) interval           { return interval{v, v, true} }
+func span(lo, hi int64) interval       { return interval{lo, hi, true} }
+func (iv interval) inWidthRange() bool { return iv.known && iv.lo >= 0 && iv.hi <= 64 }
+
+func (bitwidthCheck) Run(cfg *Config, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				ev := &widthEval{cfg: cfg, pkg: pkg, fn: fn}
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					width, method, ok := bitioWidthArg(cfg, pkg, call)
+					if !ok {
+						return true
+					}
+					iv := ev.eval(width, map[types.Object]bool{})
+					if iv.inWidthRange() {
+						return true
+					}
+					msg := method + " width not provably in [0,64]: " + exprString(width)
+					if iv.known {
+						msg += fmt.Sprintf(" (bounds [%d,%d])", iv.lo, iv.hi)
+					}
+					diags = append(diags, Diagnostic{
+						Pos:     pkg.Fset.Position(width.Pos()),
+						Check:   "bitwidth",
+						Message: msg,
+					})
+					return true
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// bitioWidthArg returns the width argument of a WriteBits/ReadBits
+// call on a bitio Writer/Reader, if call is one.
+func bitioWidthArg(cfg *Config, pkg *Package, call *ast.CallExpr) (ast.Expr, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	name := sel.Sel.Name
+	var argIdx int
+	var recvName string
+	switch name {
+	case "WriteBits":
+		argIdx, recvName = 1, "Writer"
+	case "ReadBits":
+		argIdx, recvName = 0, "Reader"
+	default:
+		return nil, "", false
+	}
+	recv := typeNamed(pkg.Info.TypeOf(sel.X))
+	if recv == nil || recv.Obj().Pkg() == nil {
+		return nil, "", false
+	}
+	if recv.Obj().Name() != recvName || !matchPath(recv.Obj().Pkg().Path(), cfg.BitioPaths) {
+		return nil, "", false
+	}
+	if len(call.Args) <= argIdx {
+		return nil, "", false
+	}
+	return call.Args[argIdx], name, true
+}
+
+// typeNamed unwraps pointers and aliases down to a *types.Named.
+func typeNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	for {
+		switch tt := t.(type) {
+		case *types.Named:
+			return tt
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Pointer:
+			t = tt.Elem()
+		default:
+			return nil
+		}
+	}
+}
+
+// widthEval performs a tiny interval analysis over one function body.
+type widthEval struct {
+	cfg *Config
+	pkg *Package
+	fn  *ast.FuncDecl
+}
+
+func (ev *widthEval) eval(e ast.Expr, seen map[types.Object]bool) interval {
+	// Constant folding first: covers literals, named consts and
+	// constant arithmetic in one step.
+	if tv, ok := ev.pkg.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, ok := constant.Int64Val(tv.Value); ok {
+			return exact(v)
+		}
+		return interval{}
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return ev.eval(e.X, seen)
+	case *ast.CallExpr:
+		return ev.evalCall(e, seen)
+	case *ast.SelectorExpr:
+		if ev.isTrustedField(e) {
+			return span(1, 64)
+		}
+		return interval{}
+	case *ast.Ident:
+		return ev.evalIdent(e, seen)
+	case *ast.BinaryExpr:
+		x := ev.eval(e.X, seen)
+		y := ev.eval(e.Y, seen)
+		if !x.known || !y.known {
+			return interval{}
+		}
+		switch e.Op {
+		case token.ADD:
+			return span(x.lo+y.lo, x.hi+y.hi)
+		case token.SUB:
+			return span(x.lo-y.hi, x.hi-y.lo)
+		}
+		return interval{}
+	}
+	return interval{}
+}
+
+func (ev *widthEval) evalCall(call *ast.CallExpr, seen map[types.Object]bool) interval {
+	// Type conversions like int(x) are transparent.
+	if tv, ok := ev.pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return ev.eval(call.Args[0], seen)
+	}
+	callee := calleeFunc(ev.pkg.Info, call.Fun)
+	if callee == nil {
+		return interval{}
+	}
+	full := callee.FullName()
+	// Runtime width guards: invariant.Width validates [1,64] on every
+	// execution, so the static check credits it.
+	if matchName(full, ev.cfg.WidthGuards) || hasSuffixName(full, ev.cfg.WidthGuards) {
+		return span(1, 64)
+	}
+	// math/bits length/population counts are bounded by the word size.
+	if callee.Pkg() != nil && callee.Pkg().Path() == "math/bits" {
+		switch callee.Name() {
+		case "Len", "Len64", "OnesCount", "OnesCount64":
+			return span(0, 64)
+		case "Len32", "OnesCount32":
+			return span(0, 32)
+		case "Len16", "OnesCount16":
+			return span(0, 16)
+		case "Len8", "OnesCount8":
+			return span(0, 8)
+		}
+		return interval{}
+	}
+	// Width accessors on a validatable config: CodeBits() etc. promise
+	// [1,64] once Validate has passed (configbeforeuse enforces the
+	// validation half of that contract).
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := typeNamed(sig.Recv().Type())
+		if isConfigType(ev.cfg, recv) {
+			for _, name := range ev.cfg.WidthAccessors {
+				if callee.Name() == name {
+					return span(1, 64)
+				}
+			}
+		}
+	}
+	return interval{}
+}
+
+// isTrustedField reports whether sel reads a configured width field
+// (e.g. cfg.OffsetBits) from a type carrying a Validate method.
+func (ev *widthEval) isTrustedField(sel *ast.SelectorExpr) bool {
+	trusted := false
+	for _, name := range ev.cfg.WidthFields {
+		if sel.Sel.Name == name {
+			trusted = true
+			break
+		}
+	}
+	if !trusted {
+		return false
+	}
+	owner := typeNamed(ev.pkg.Info.TypeOf(sel.X))
+	return isConfigType(ev.cfg, owner)
+}
+
+// isConfigType reports whether n is a configured validatable config
+// type: named like a config and carrying a `Validate() error` method.
+func isConfigType(cfg *Config, n *types.Named) bool {
+	if n == nil || !hasValidateMethod(n) {
+		return false
+	}
+	for _, name := range cfg.ConfigTypeNames {
+		if n.Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// evalIdent bounds a local variable by the union of every value
+// assigned to it anywhere in the enclosing function.
+func (ev *widthEval) evalIdent(id *ast.Ident, seen map[types.Object]bool) interval {
+	obj := ev.pkg.Info.Uses[id]
+	if obj == nil {
+		obj = ev.pkg.Info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || seen[v] {
+		return interval{}
+	}
+	seen[v] = true
+	defer delete(seen, v)
+
+	result := interval{}
+	first := true
+	found := false
+	bad := false
+	merge := func(iv interval) {
+		found = true
+		if !iv.known {
+			bad = true
+			return
+		}
+		if first {
+			result, first = iv, false
+			return
+		}
+		if iv.lo < result.lo {
+			result.lo = iv.lo
+		}
+		if iv.hi > result.hi {
+			result.hi = iv.hi
+		}
+	}
+	ast.Inspect(ev.fn, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+				// Compound assignment (+=, <<= ...) to the variable
+				// defeats the analysis.
+				for _, lhs := range n.Lhs {
+					if ev.sameVar(lhs, v) {
+						merge(interval{})
+					}
+				}
+				return true
+			}
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if ev.sameVar(lhs, v) {
+						merge(ev.eval(n.Rhs[i], seen))
+					}
+				}
+			} else {
+				// Tuple assignment from a call: unbounded.
+				for _, lhs := range n.Lhs {
+					if ev.sameVar(lhs, v) {
+						merge(interval{})
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if ev.pkg.Info.Defs[name] == v {
+					if i < len(n.Values) {
+						merge(ev.eval(n.Values[i], seen))
+					} else if len(n.Values) == 0 {
+						merge(exact(0)) // zero value declaration
+					} else {
+						merge(interval{})
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if ev.sameVar(n.Key, v) || ev.sameVar(n.Value, v) {
+				merge(interval{})
+			}
+		case *ast.IncDecStmt:
+			if ev.sameVar(n.X, v) {
+				merge(interval{})
+			}
+		case *ast.UnaryExpr:
+			// Taking the address lets the variable change through an
+			// alias we cannot see.
+			if n.Op == token.AND && ev.sameVar(n.X, v) {
+				merge(interval{})
+			}
+		}
+		return true
+	})
+	if !found || bad {
+		return interval{} // parameter, closure capture, or opaque write
+	}
+	return result
+}
+
+func (ev *widthEval) sameVar(e ast.Expr, v *types.Var) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if obj := ev.pkg.Info.Defs[id]; obj == v {
+		return true
+	}
+	return ev.pkg.Info.Uses[id] == v
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes, or nil.
+func calleeFunc(info *types.Info, fun ast.Expr) *types.Func {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	case *ast.ParenExpr:
+		return calleeFunc(info, fun.X)
+	}
+	return nil
+}
+
+// hasValidateMethod reports whether the named type (or its pointer)
+// has a `Validate() error` method.
+func hasValidateMethod(n *types.Named) bool {
+	for _, t := range []types.Type{n, types.NewPointer(n)} {
+		obj, _, _ := types.LookupFieldOrMethod(t, true, n.Obj().Pkg(), "Validate")
+		f, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		sig := f.Type().(*types.Signature)
+		if sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+			types.Identical(sig.Results().At(0).Type(), types.Universe.Lookup("error").Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasSuffixName reports whether full (a qualified function name)
+// ends with any of the given suffixes after a path separator.
+func hasSuffixName(full string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if full == s || len(full) > len(s) && full[len(full)-len(s)-1] == '/' && full[len(full)-len(s):] == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// configBeforeUseCheck flags exported functions that consume a
+// validatable configuration (any type with a `Validate() error`
+// method, e.g. core.Config) without validating it on any path. A
+// function counts as validating when its body calls Validate on the
+// parameter, or passes the parameter to a function — in any analyzed
+// package — that does (computed as a fixpoint over the call graph).
+// Unexported functions are trusted: they are reachable only through
+// exported entry points, which the check covers.
+//
+// This is deliberately heuristic, per package and flow-insensitive: a
+// Validate call anywhere in the body counts. Its job is to keep every
+// public entry point of the compression core behind the C_C/C_E/C_MDATA
+// range checks, not to prove dominance.
+type configBeforeUseCheck struct{}
+
+func (configBeforeUseCheck) Name() string { return "configbeforeuse" }
+func (configBeforeUseCheck) Doc() string {
+	return "exported functions consuming a validatable config must call Validate on it, directly or via a callee"
+}
+
+// cfgParamInfo records, for one function, what it does with each
+// validatable parameter.
+type cfgParamInfo struct {
+	pkg      *Package
+	decl     *ast.FuncDecl
+	params   []*types.Var        // validatable params, in order of appearance
+	consumed map[*types.Var]bool // field read or non-Validate method call
+	secured  map[*types.Var]bool // Validate called (directly, so far)
+	edges    []cfgEdge           // params forwarded to other functions
+}
+
+// cfgEdge says: parameter v is passed as argument index argIdx of a
+// call to callee.
+type cfgEdge struct {
+	v      *types.Var
+	callee *types.Func
+	argIdx int
+}
+
+func (configBeforeUseCheck) Run(cfg *Config, pkgs []*Package) []Diagnostic {
+	// Pass 1: collect per-function facts across every package.
+	infos := map[*types.Func]*cfgParamInfo{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				if info := collectCfgInfo(cfg, pkg, fn); info != nil {
+					infos[obj] = info
+				}
+			}
+		}
+	}
+
+	// Pass 2: propagate "secured" through forwarding edges until the
+	// fixpoint. A param is secured if the function validates it or
+	// hands it to a callee whose corresponding param is secured.
+	for changed := true; changed; {
+		changed = false
+		for _, info := range infos {
+			for _, e := range info.edges {
+				if info.secured[e.v] {
+					continue
+				}
+				callee, ok := infos[e.callee]
+				if !ok {
+					continue
+				}
+				sig, ok := e.callee.Type().(*types.Signature)
+				if !ok || e.argIdx >= sig.Params().Len() {
+					continue
+				}
+				calleeParam := paramVarAt(callee, sig, e.argIdx)
+				if calleeParam != nil && callee.secured[calleeParam] {
+					info.secured[e.v] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Pass 3: flag exported functions with consumed-but-unsecured
+	// validatable params.
+	var diags []Diagnostic
+	for obj, info := range infos {
+		if !info.decl.Name.IsExported() {
+			continue
+		}
+		for _, v := range info.params {
+			if info.consumed[v] && !info.secured[v] {
+				named := typeNamed(v.Type())
+				tname := v.Type().String()
+				if named != nil {
+					tname = named.Obj().Name()
+				}
+				diags = append(diags, Diagnostic{
+					Pos:   info.pkg.Fset.Position(info.decl.Name.Pos()),
+					Check: "configbeforeuse",
+					Message: "exported " + funcKind(info.decl) + " " + obj.Name() + " consumes " + tname +
+						" parameter " + v.Name() + " without calling Validate on any path",
+				})
+			}
+		}
+	}
+	return diags
+}
+
+func funcKind(fn *ast.FuncDecl) string {
+	if fn.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// paramVarAt maps a call-site argument index back to the callee's
+// parameter variable, matching by name and position against the
+// callee's declaration.
+func paramVarAt(info *cfgParamInfo, sig *types.Signature, idx int) *types.Var {
+	p := sig.Params().At(idx)
+	for _, v := range info.params {
+		if v == p || (v.Name() == p.Name() && types.Identical(v.Type(), p.Type())) {
+			return v
+		}
+	}
+	return nil
+}
+
+// collectCfgInfo gathers validatable-parameter facts for one function,
+// or nil when it has none.
+func collectCfgInfo(cfg *Config, pkg *Package, fn *ast.FuncDecl) *cfgParamInfo {
+	info := &cfgParamInfo{
+		pkg:      pkg,
+		decl:     fn,
+		consumed: map[*types.Var]bool{},
+		secured:  map[*types.Var]bool{},
+	}
+	paramSet := map[*types.Var]bool{}
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			for _, name := range field.Names {
+				v, ok := pkg.Info.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				if !isConfigType(cfg, typeNamed(v.Type())) {
+					continue
+				}
+				info.params = append(info.params, v)
+				paramSet[v] = true
+			}
+		}
+	}
+	if len(info.params) == 0 {
+		return nil
+	}
+
+	paramOf := func(e ast.Expr) *types.Var {
+		// Unwrap &cfg and (*cfg) forms down to the identifier.
+		for {
+			switch ee := e.(type) {
+			case *ast.ParenExpr:
+				e = ee.X
+			case *ast.UnaryExpr:
+				e = ee.X
+			case *ast.StarExpr:
+				e = ee.X
+			default:
+				id, ok := e.(*ast.Ident)
+				if !ok {
+					return nil
+				}
+				if v, ok := pkg.Info.Uses[id].(*types.Var); ok && paramSet[v] {
+					return v
+				}
+				return nil
+			}
+		}
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			v := paramOf(n.X)
+			if v == nil {
+				return true
+			}
+			if n.Sel.Name == "Validate" {
+				info.secured[v] = true
+			} else {
+				info.consumed[v] = true
+			}
+		case *ast.CallExpr:
+			callee := calleeFunc(pkg.Info, n.Fun)
+			if callee == nil {
+				return true
+			}
+			for i, arg := range n.Args {
+				if v := paramOf(arg); v != nil {
+					info.edges = append(info.edges, cfgEdge{v: v, callee: callee, argIdx: i})
+				}
+			}
+		}
+		return true
+	})
+	return info
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// droppedErrorCheck flags discarded error results in strict packages:
+// the bit-exact library packages plus cmd/ and examples/. A dropped
+// error in the compression core turns a detectable fault into silent
+// bit-stream corruption; in binaries it hides I/O failures from the
+// exit status.
+//
+// Two forms are flagged: a call used as a bare statement whose result
+// set contains an error, and an assignment that lands an error in the
+// blank identifier. Deferred and go statements are exempt by design —
+// an error surfacing mid-unwind has no useful recipient — as are the
+// configured never-failing callees (fmt printing, in-memory writers).
+type droppedErrorCheck struct{}
+
+func (droppedErrorCheck) Name() string { return "droppederror" }
+func (droppedErrorCheck) Doc() string {
+	return "strict packages must not discard error results via bare calls or `_ =` assignments"
+}
+
+func (droppedErrorCheck) Run(cfg *Config, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if !matchPath(pkg.Path, cfg.LibraryPaths) && !matchPath(pkg.Path, cfg.StrictErrorPaths) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.DeferStmt, *ast.GoStmt:
+					return false
+				case *ast.ExprStmt:
+					call, ok := n.X.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if idx := errorResultIndex(pkg.Info, call); idx >= 0 && !exemptCallee(cfg, pkg.Info, call) {
+						diags = append(diags, Diagnostic{
+							Pos:     pkg.Fset.Position(call.Pos()),
+							Check:   "droppederror",
+							Message: "error result of " + exprString(call.Fun) + " discarded by bare call",
+						})
+					}
+					return true
+				case *ast.AssignStmt:
+					diags = append(diags, checkAssign(cfg, pkg, n)...)
+					return true
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// errorResultIndex returns the index of the first error in the call's
+// result tuple, or -1. Type conversions and error-free calls return -1.
+func errorResultIndex(info *types.Info, call *ast.CallExpr) int {
+	tv, ok := info.Types[call]
+	if !ok || tv.IsType() {
+		return -1
+	}
+	errType := types.Universe.Lookup("error").Type()
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return i
+			}
+		}
+	default:
+		if t != nil && types.Identical(t, errType) {
+			return 0
+		}
+	}
+	return -1
+}
+
+// checkAssign flags error values assigned to the blank identifier.
+func checkAssign(cfg *Config, pkg *Package, n *ast.AssignStmt) []Diagnostic {
+	var diags []Diagnostic
+	errType := types.Universe.Lookup("error").Type()
+	flag := func(lhs ast.Expr, rhs ast.Expr) {
+		if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+			return
+		}
+		diags = append(diags, Diagnostic{
+			Pos:     pkg.Fset.Position(lhs.Pos()),
+			Check:   "droppederror",
+			Message: "error result of " + exprString(rhs) + " assigned to blank identifier",
+		})
+	}
+	if len(n.Lhs) == len(n.Rhs) {
+		// Parallel assignment: each RHS maps to one LHS.
+		for i, rhs := range n.Rhs {
+			t := pkg.Info.TypeOf(rhs)
+			if t == nil || !types.Identical(t, errType) {
+				continue
+			}
+			if call, ok := rhs.(*ast.CallExpr); ok && exemptCallee(cfg, pkg.Info, call) {
+				continue
+			}
+			flag(n.Lhs[i], rhs)
+		}
+		return diags
+	}
+	// Tuple assignment from one call: a, _ := f().
+	if len(n.Rhs) != 1 {
+		return diags
+	}
+	call, ok := n.Rhs[0].(*ast.CallExpr)
+	if !ok || exemptCallee(cfg, pkg.Info, call) {
+		return diags
+	}
+	tv, ok := pkg.Info.Types[call]
+	if !ok {
+		return diags
+	}
+	tuple, ok := tv.Type.(*types.Tuple)
+	if !ok || tuple.Len() != len(n.Lhs) {
+		return diags
+	}
+	for i := 0; i < tuple.Len(); i++ {
+		if types.Identical(tuple.At(i).Type(), errType) {
+			flag(n.Lhs[i], call)
+		}
+	}
+	return diags
+}
+
+// exemptCallee reports whether the call target is on the configured
+// never-fails list.
+func exemptCallee(cfg *Config, info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call.Fun)
+	return f != nil && matchName(f.FullName(), cfg.ErrorExempt)
+}

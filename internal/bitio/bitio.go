@@ -11,6 +11,8 @@ package bitio
 import (
 	"errors"
 	"fmt"
+
+	"lzwtc/internal/invariant"
 )
 
 // ErrUnexpectedEOF is returned by Reader when fewer bits remain than
@@ -29,9 +31,7 @@ type Writer struct {
 // WriteBits appends the low n bits of v to the stream, MSB first.
 // n must be in [0, 64]; bits of v above position n-1 are ignored.
 func (w *Writer) WriteBits(v uint64, n int) {
-	if n < 0 || n > 64 {
-		panic(fmt.Sprintf("bitio: WriteBits width %d out of range", n))
-	}
+	invariant.Check(n >= 0 && n <= 64, "bitio: WriteBits width %d out of range", n)
 	if n == 0 {
 		return
 	}

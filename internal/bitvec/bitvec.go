@@ -19,6 +19,8 @@ import (
 	"io"
 	"math/bits"
 	"strings"
+
+	"lzwtc/internal/invariant"
 )
 
 // Bit is a three-valued logic bit.
@@ -53,9 +55,7 @@ type Vector struct {
 
 // New returns an all-X vector of length n.
 func New(n int) *Vector {
-	if n < 0 {
-		panic("bitvec: negative length")
-	}
+	invariant.Check(n >= 0, "bitvec: negative length %d", n)
 	w := (n + 63) / 64
 	return &Vector{n: n, val: make([]uint64, w), care: make([]uint64, w)}
 }
@@ -92,9 +92,7 @@ func (v *Vector) Set(i int, b Bit) {
 }
 
 func (v *Vector) check(i int) {
-	if i < 0 || i >= v.n {
-		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
-	}
+	invariant.Check(i >= 0 && i < v.n, "bitvec: index %d out of range [0,%d)", i, v.n)
 }
 
 // Chunk extracts n bits (n in [0,64]) starting at stream position pos.
@@ -102,12 +100,8 @@ func (v *Vector) check(i int) {
 // Positions at or beyond Len() read as X (care 0), so a stream may be
 // consumed in fixed-size characters with implicit don't-care padding.
 func (v *Vector) Chunk(pos, n int) (val, care uint64) {
-	if n < 0 || n > 64 {
-		panic(fmt.Sprintf("bitvec: chunk width %d out of range", n))
-	}
-	if pos < 0 {
-		panic("bitvec: negative chunk position")
-	}
+	invariant.Check(n >= 0 && n <= 64, "bitvec: chunk width %d out of range", n)
+	invariant.Check(pos >= 0, "bitvec: negative chunk position %d", pos)
 	val = v.window(v.val, pos)
 	care = v.window(v.care, pos)
 	if n < 64 {
@@ -139,9 +133,7 @@ func (v *Vector) window(plane []uint64, pos int) uint64 {
 // pos+j becomes bit j of val (0 or 1, always specified). Bits beyond Len()
 // are silently dropped, mirroring Chunk's X padding.
 func (v *Vector) SetChunk(pos, n int, val uint64) {
-	if n < 0 || n > 64 {
-		panic(fmt.Sprintf("bitvec: chunk width %d out of range", n))
-	}
+	invariant.Check(n >= 0 && n <= 64, "bitvec: chunk width %d out of range", n)
 	for j := 0; j < n; j++ {
 		i := pos + j
 		if i >= v.n {
@@ -278,9 +270,7 @@ func Parse(s string) (*Vector, error) {
 // MustParse is Parse that panics on error, for tests and literals.
 func MustParse(s string) *Vector {
 	v, err := Parse(s)
-	if err != nil {
-		panic(err)
-	}
+	invariant.Must(err)
 	return v
 }
 

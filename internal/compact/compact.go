@@ -14,6 +14,7 @@ import (
 	"lzwtc/internal/circuit"
 	"lzwtc/internal/fault"
 	"lzwtc/internal/fsim"
+	"lzwtc/internal/invariant"
 )
 
 // Stats reports a compaction run.
@@ -75,8 +76,8 @@ func MergeCubes(cs *bitvec.CubeSet) (*bitvec.CubeSet, *Stats) {
 			}
 		}
 		if !merged {
-			// Add is infallible here: widths match by construction.
-			_ = out.Add(c.Clone())
+			// Widths match by construction, so Add cannot fail.
+			invariant.Must(out.Add(c.Clone()))
 		}
 	}
 	st.PatternsOut = len(out.Cubes)

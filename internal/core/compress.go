@@ -54,6 +54,9 @@ func (r *Result) Pack() []byte {
 
 // UnpackCodes parses n fixed-width codes from a packed stream.
 func UnpackCodes(data []byte, n int, cfg Config) ([]Code, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	r := bitio.NewReader(data, -1)
 	cb := cfg.CodeBits()
 	codes := make([]Code, 0, n)

@@ -551,3 +551,26 @@ func TestFullResetStatsCounted(t *testing.T) {
 		t.Fatal("reset round trip violates care bits")
 	}
 }
+
+func TestLiteralOnlyDictResetRoundTrip(t *testing.T) {
+	// DictSize == 2^CharBits leaves no string slots at all; with the
+	// FullReset policy this used to overrun the dictionary arrays on
+	// the first add attempt (found by FuzzRoundTrip). The stream must
+	// instead round-trip as pure literal codes.
+	cfg := Config{CharBits: 2, DictSize: 4, Full: FullReset}
+	stream := bitvec.MustParse("0110XX010110")
+	res, err := Compress(stream, cfg)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	if res.Stats.DictEntries != 0 || res.Stats.StringCodes != 0 {
+		t.Fatalf("literal-only dictionary produced string entries: %+v", res.Stats)
+	}
+	out, err := Decompress(res.Codes, cfg, res.InputBits)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if !stream.CompatibleWith(out) {
+		t.Fatal("round trip violates a care bit")
+	}
+}

@@ -91,6 +91,12 @@ func (d *dict) prepareAdd(parent Code) bool {
 		if d.cfg.Full == FullFreeze {
 			return false
 		}
+		if int(d.firstCode) >= d.cfg.DictSize {
+			// DictSize == 2^C_C: every code is a literal and no string
+			// entry can ever exist. Resetting cannot free a slot, so the
+			// dictionary is permanently frozen regardless of policy.
+			return false
+		}
 		d.reset()
 		// After a reset the parent code may no longer be defined (it was a
 		// string entry). The compressor and decompressor both skip the add

@@ -140,7 +140,11 @@ func (d *Decompressor) Preload(pre *core.Preload) error {
 }
 
 // MemoryGeometry returns the dictionary geometry (words x width) a
-// configuration needs, for provisioning the shared memory.
+// configuration needs, for provisioning the shared memory. It is a
+// pure sizing helper: it touches no bit streams, and New re-validates
+// the same configuration before any memory traffic happens.
+//
+//lzwtcvet:ignore configbeforeuse sizing helper; New validates before use
 func MemoryGeometry(cfg core.Config) (words, width int) {
 	return cfg.DictSize, cfg.LenBits() + cfg.EntryBits
 }

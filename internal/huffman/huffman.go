@@ -19,6 +19,7 @@ import (
 
 	"lzwtc/internal/bitio"
 	"lzwtc/internal/bitvec"
+	"lzwtc/internal/invariant"
 )
 
 // Config sets the block geometry and dictionary size.
@@ -149,7 +150,10 @@ func Compress(stream *bitvec.Vector, cfg Config) (*Result, error) {
 	for _, blk := range blocks {
 		if r, ok := rank[blk]; ok {
 			w.WriteBit(1)
-			w.WriteBits(uint64(codes[r]), res.Lens[r])
+			// Huffman depths stay far below 64 for any realistic
+			// weight distribution; Width asserts it for the ones
+			// codeLengths could theoretically produce.
+			w.WriteBits(uint64(codes[r]), invariant.Width(res.Lens[r]))
 			res.Stats.CodedBlocks++
 		} else {
 			w.WriteBit(0)
@@ -184,6 +188,9 @@ func assign(val, care, full uint16, freq map[uint16]int) (uint16, bool) {
 
 // Decompress inverts a compressed stream.
 func Decompress(res *Result, outBits int) (*bitvec.Vector, error) {
+	if err := res.Cfg.Validate(); err != nil {
+		return nil, err
+	}
 	b := res.Cfg.BlockBits
 	codes := canonicalCodes(res.Lens)
 	// Build a decode map from (len, code) to rank.

@@ -14,6 +14,7 @@ import (
 
 	"lzwtc/internal/bitio"
 	"lzwtc/internal/bitvec"
+	"lzwtc/internal/invariant"
 )
 
 // Kind selects the run-length code.
@@ -174,14 +175,17 @@ func bestGolombM(runs []int) int {
 }
 
 // encodeGolomb writes run length r: quotient r/M in unary (q ones then a
-// zero) followed by the log2(M)-bit remainder.
+// zero) followed by the log2(M)-bit remainder. M is a power of two >= 2
+// (enforced by Config.Validate and bestGolombM), so the remainder width
+// log2(M) is in [1,63]; invariant.Width asserts that at run time for
+// the bitwidth check.
 func encodeGolomb(w *bitio.Writer, r, m int) {
 	q := r / m
 	for i := 0; i < q; i++ {
 		w.WriteBit(1)
 	}
 	w.WriteBit(0)
-	w.WriteBits(uint64(r%m), bits.Len(uint(m))-1)
+	w.WriteBits(uint64(r%m), invariant.Width(bits.Len(uint(m))-1))
 }
 
 func decodeGolomb(rd *bitio.Reader, m int) (int, error) {
@@ -196,7 +200,7 @@ func decodeGolomb(rd *bitio.Reader, m int) (int, error) {
 		}
 		q++
 	}
-	rem, err := rd.ReadBits(bits.Len(uint(m)) - 1)
+	rem, err := rd.ReadBits(invariant.Width(bits.Len(uint(m)) - 1))
 	if err != nil {
 		return 0, err
 	}
@@ -213,7 +217,9 @@ func encodeFDR(w *bitio.Writer, r int) {
 	}
 	w.WriteBit(0)
 	base := 1<<uint(k) - 2
-	w.WriteBits(uint64(r-base), k)
+	// fdrGroup grows k only while 2^(k+1) <= r+3, so k < 63 for any
+	// in-memory run length; Width asserts the bound at run time.
+	w.WriteBits(uint64(r-base), invariant.Width(k))
 }
 
 func decodeFDR(rd *bitio.Reader) (int, error) {
@@ -227,8 +233,14 @@ func decodeFDR(rd *bitio.Reader) (int, error) {
 			break
 		}
 		k++
+		if k > 62 {
+			// The unary prefix is attacker-controlled input; a group
+			// index beyond 62 cannot come from a valid encoder and
+			// would overflow the run-length arithmetic below.
+			return 0, fmt.Errorf("rle: FDR group prefix exceeds 62")
+		}
 	}
-	tail, err := rd.ReadBits(k)
+	tail, err := rd.ReadBits(invariant.Width(k))
 	if err != nil {
 		return 0, err
 	}
