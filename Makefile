@@ -1,7 +1,8 @@
 GO ?= go
 FUZZTIME ?= 10s
+BENCHTIME ?= 1x
 
-.PHONY: build vet test race lzwtcvet fuzz verify
+.PHONY: build vet test race lzwtcvet fuzz telemetry-overhead verify
 
 build:
 	$(GO) build ./...
@@ -29,4 +30,10 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzUnpackCodes -fuzztime=$(FUZZTIME) ./internal/core
 
-verify: build vet test race lzwtcvet fuzz
+# Overhead smoke: the disabled-telemetry and metrics-enabled compression
+# benchmarks must run clean. Raise BENCHTIME (e.g. 5s) for real numbers
+# when comparing against a baseline.
+telemetry-overhead:
+	$(GO) test -run='^$$' -bench='BenchmarkCompressTelemetry' -benchtime=$(BENCHTIME) ./internal/core
+
+verify: build vet test race lzwtcvet fuzz telemetry-overhead

@@ -13,12 +13,15 @@ import (
 	"strings"
 
 	"lzwtc/internal/experiments"
+	"lzwtc/internal/telemetry"
 )
 
 func main() {
 	run := flag.String("run", "all", "experiment to run: all, "+strings.Join(experiments.Names(), ", "))
 	md := flag.Bool("md", false, "emit GitHub-flavored markdown instead of fixed-width text")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	tel := flag.String("telemetry", "", "event stream format to stderr: text or jsonl (off when empty)")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus text exposition here on exit")
 	flag.Parse()
 
 	if *list {
@@ -28,12 +31,30 @@ func main() {
 		return
 	}
 
+	var rec *telemetry.Recorder
+	var reg *telemetry.Registry
+	if *tel != "" || *metricsOut != "" {
+		reg = telemetry.NewRegistry()
+		var sinks []telemetry.Sink
+		switch *tel {
+		case "":
+		case "text":
+			sinks = append(sinks, telemetry.NewTextSink(os.Stderr))
+		case "jsonl":
+			sinks = append(sinks, telemetry.NewJSONLSink(os.Stderr))
+		default:
+			fmt.Fprintf(os.Stderr, "experiments: unknown -telemetry format %q (want text or jsonl)\n", *tel)
+			os.Exit(2)
+		}
+		rec = telemetry.New(reg, sinks...)
+	}
+
 	names := experiments.Names()
 	if *run != "all" {
 		names = strings.Split(*run, ",")
 	}
 	for i, name := range names {
-		t, err := experiments.Run(strings.TrimSpace(name))
+		t, err := experiments.RunObserved(strings.TrimSpace(name), rec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
@@ -45,6 +66,20 @@ func main() {
 			fmt.Print(t.Markdown())
 		} else {
 			fmt.Print(t.String())
+		}
+	}
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			err = reg.Snapshot().WritePrometheus(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: writing metrics: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -5,9 +5,14 @@
 //
 //	lzwtc compress  -in cubes.txt -out cubes.lzw [-char 7 -dict 1024 -entry 63]
 //	lzwtc decompress -in cubes.lzw -out filled.txt
-//	lzwtc info      -in cubes.lzw
+//	lzwtc info      -in cubes.lzw [-json]
+//	lzwtc stats     -in cubes.txt [-json]      # full pipeline run record
 //	lzwtc compare   -in cubes.txt              # all coders side by side
 //	lzwtc verify    -cubes cubes.txt -filled filled.txt
+//
+// Every pipeline subcommand also accepts the observability flags
+// -telemetry {text|jsonl}, -telemetry-out, -metrics-out, -cpuprofile
+// and -memprofile.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"lzwtc/internal/huffman"
 	"lzwtc/internal/lz77"
 	"lzwtc/internal/rle"
+	"lzwtc/internal/telemetry"
 )
 
 func main() {
@@ -34,6 +40,8 @@ func main() {
 		err = decompress(os.Args[2:])
 	case "info":
 		err = info(os.Args[2:])
+	case "stats":
+		err = stats(os.Args[2:])
 	case "compare":
 		err = compare(os.Args[2:])
 	case "verify":
@@ -48,7 +56,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lzwtc {compress|decompress|info|compare|verify} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lzwtc {compress|decompress|info|stats|compare|verify} [flags]")
 	os.Exit(2)
 }
 
@@ -83,7 +91,12 @@ func compress(args []string) error {
 	in := fs.String("in", "-", "input cube file (- for stdin)")
 	out := fs.String("out", "-", "output container (- for stdout)")
 	cfg := configFlags(fs)
+	opts := telemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rec, finish, err := opts.start()
+	if err != nil {
 		return err
 	}
 
@@ -96,7 +109,7 @@ func compress(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := lzwtc.Compress(ts, *cfg)
+	res, err := lzwtc.CompressObserved(ts, *cfg, rec)
 	if err != nil {
 		return err
 	}
@@ -113,14 +126,19 @@ func compress(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "compressed %d patterns x %d bits: %d -> %d bits (%.2f%%)\n",
 		res.Patterns, res.Width, res.OriginalBits, res.CompressedBits(), 100*res.Ratio())
-	return nil
+	return finish()
 }
 
 func decompress(args []string) error {
 	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
 	in := fs.String("in", "-", "input container (- for stdin)")
 	out := fs.String("out", "-", "output cube file (- for stdout)")
+	opts := telemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rec, finish, err := opts.start()
+	if err != nil {
 		return err
 	}
 
@@ -137,7 +155,9 @@ func decompress(args []string) error {
 	if err != nil {
 		return err
 	}
+	sp := rec.Span("decompress")
 	ts, err := lzwtc.Decompress(res)
+	sp.End(telemetry.F("patterns", res.Patterns))
 	if err != nil {
 		return err
 	}
@@ -149,12 +169,16 @@ func decompress(args []string) error {
 	if err := ts.WriteCubes(w); err != nil {
 		return err
 	}
-	return w.Close()
+	if err := w.Close(); err != nil {
+		return err
+	}
+	return finish()
 }
 
 func info(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	in := fs.String("in", "-", "input container (- for stdin)")
+	jsonOut := fs.Bool("json", false, "emit the run record as JSON (same schema as stats)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -171,6 +195,9 @@ func info(args []string) error {
 	res, err := lzwtc.DecodeResult(data)
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		return infoJSON(res)
 	}
 	cfg := res.Stream.Cfg
 	fmt.Printf("patterns:        %d x %d bits (%d bits total)\n", res.Patterns, res.Width, res.OriginalBits)

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"lzwtc/internal/telemetry"
+)
+
+// telemetryOpts is the shared observability flag set: an event stream
+// (-telemetry text|jsonl, to stderr or -telemetry-out), a Prometheus
+// metrics dump (-metrics-out), and pprof capture (-cpuprofile,
+// -memprofile).
+type telemetryOpts struct {
+	mode       string
+	eventsOut  string
+	metricsOut string
+	cpuProfile string
+	memProfile string
+}
+
+func telemetryFlags(fs *flag.FlagSet) *telemetryOpts {
+	o := &telemetryOpts{}
+	fs.StringVar(&o.mode, "telemetry", "", "event stream format: text or jsonl (off when empty)")
+	fs.StringVar(&o.eventsOut, "telemetry-out", "", "event stream destination (default stderr)")
+	fs.StringVar(&o.metricsOut, "metrics-out", "", "write Prometheus text exposition here on exit (- for stdout)")
+	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile here")
+	fs.StringVar(&o.memProfile, "memprofile", "", "write a heap profile here")
+	return o
+}
+
+// enabled reports whether any observability output was requested.
+func (o *telemetryOpts) enabled() bool {
+	return o.mode != "" || o.metricsOut != "" || o.cpuProfile != "" || o.memProfile != ""
+}
+
+// start builds the recorder (nil when nothing was requested, keeping
+// the hot paths uninstrumented) and returns a finish function that
+// flushes metrics and profiles. Call finish exactly once, on success
+// paths; it reports the first flush error.
+func (o *telemetryOpts) start() (*telemetry.Recorder, func() error, error) {
+	return o.startWith(telemetry.NewRegistry())
+}
+
+// startWith is start with a caller-provided registry, for subcommands
+// that read histograms back out of it.
+func (o *telemetryOpts) startWith(reg *telemetry.Registry) (*telemetry.Recorder, func() error, error) {
+	if !o.enabled() {
+		return nil, func() error { return nil }, nil
+	}
+
+	var sinks []telemetry.Sink
+	var eventFile *os.File
+	var sinkErr func() error
+	switch o.mode {
+	case "":
+	case "text", "jsonl":
+		w := os.Stderr
+		if o.eventsOut != "" && o.eventsOut != "-" {
+			f, err := os.Create(o.eventsOut)
+			if err != nil {
+				return nil, nil, err
+			}
+			eventFile, w = f, f
+		}
+		if o.mode == "text" {
+			s := telemetry.NewTextSink(w)
+			sinks, sinkErr = append(sinks, s), s.Err
+		} else {
+			s := telemetry.NewJSONLSink(w)
+			sinks, sinkErr = append(sinks, s), s.Err
+		}
+	default:
+		return nil, nil, fmt.Errorf("unknown -telemetry format %q (want text or jsonl)", o.mode)
+	}
+
+	var cpuFile *os.File
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			if cerr := f.Close(); cerr != nil {
+				err = fmt.Errorf("%w (also closing %s: %v)", err, o.cpuProfile, cerr)
+			}
+			return nil, nil, err
+		}
+		cpuFile = f
+	}
+
+	rec := telemetry.New(reg, sinks...)
+	finish := func() error {
+		var firstErr error
+		keep := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			keep(cpuFile.Close())
+		}
+		if o.memProfile != "" {
+			f, err := os.Create(o.memProfile)
+			keep(err)
+			if err == nil {
+				runtime.GC()
+				keep(pprof.WriteHeapProfile(f))
+				keep(f.Close())
+			}
+		}
+		if o.metricsOut != "" {
+			w, err := openOut(o.metricsOut)
+			keep(err)
+			if err == nil {
+				keep(reg.Snapshot().WritePrometheus(w))
+				keep(w.Close())
+			}
+		}
+		if sinkErr != nil {
+			keep(sinkErr())
+		}
+		if eventFile != nil {
+			keep(eventFile.Close())
+		}
+		return firstErr
+	}
+	return rec, finish, nil
+}

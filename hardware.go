@@ -1,9 +1,7 @@
 package lzwtc
 
 import (
-	"lzwtc/internal/ate"
 	"lzwtc/internal/decomp"
-	"lzwtc/internal/mem"
 )
 
 // DownloadStats is the cycle accounting of a simulated test download
@@ -21,23 +19,7 @@ type DownloadStats = decomp.Stats
 // The configuration must be hardware-realizable: bounded entries
 // (EntryBits > 0) and the freeze dictionary-full policy.
 func SimulateDownload(r *Result, clockRatio int) (*TestSet, *DownloadStats, float64, error) {
-	cfg := r.Stream.Cfg
-	words, width := decomp.MemoryGeometry(cfg)
-	shared := mem.NewShared(mem.New(words, width))
-	shared.Select(mem.SrcLZW)
-	hw, err := decomp.New(cfg, clockRatio, shared)
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	stream, stats, err := hw.Run(r.Stream.Pack(), len(r.Stream.Codes), r.Stream.InputBits)
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	ts, err := DecompressedSetFromStream(stream, r)
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	return ts, stats, ate.Improvement(r.OriginalBits, stats.TesterCycles), nil
+	return SimulateDownloadObserved(r, clockRatio, nil)
 }
 
 // PredictDownloadCycles computes the download time in tester cycles in

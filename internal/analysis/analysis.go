@@ -21,7 +21,10 @@
 //
 // placed on the offending line or the line directly above it. The
 // check list may be "all". Suppressions should be recorded in
-// internal/analysis/README.md so they stay auditable.
+// internal/analysis/README.md so they stay auditable. Packages listed
+// in Config.NoSuppressPaths reject the mechanism outright: any
+// //lzwtcvet:ignore comment there is itself reported (check
+// "nosuppress") and has no silencing effect.
 package analysis
 
 import (
@@ -89,6 +92,11 @@ type Config struct {
 	// makes it a prefix pattern) whose dropped results are tolerated:
 	// terminal-output helpers and never-failing writers.
 	ErrorExempt []string
+	// NoSuppressPaths are packages where //lzwtcvet:ignore comments are
+	// forbidden: the comment itself becomes a "nosuppress" finding and
+	// silences nothing. Used for packages whose discipline must hold
+	// unconditionally (the telemetry layer sits on every hot path).
+	NoSuppressPaths []string
 }
 
 // DefaultConfig returns the configuration for this repository.
@@ -105,10 +113,11 @@ func DefaultConfig() Config {
 		LibraryPaths: []string{
 			"internal/bitio", "internal/core", "internal/decomp",
 			"internal/bitvec", "internal/compact", "internal/huffman",
-			"internal/lz77", "internal/rle",
+			"internal/lz77", "internal/rle", "internal/telemetry",
 		},
 		StrictErrorPaths: []string{"lzwtc", "lzwtc/cmd/...", "lzwtc/examples/..."},
 		PanicAllowPaths:  []string{"internal/invariant"},
+		NoSuppressPaths:  []string{"internal/telemetry"},
 		ErrorExempt: []string{
 			"fmt.Print*",
 			"fmt.Fprint*",
@@ -189,7 +198,7 @@ func Run(cfg *Config, pkgs []*Package, names ...string) ([]Diagnostic, error) {
 	for _, c := range selected {
 		diags = append(diags, c.Run(cfg, pkgs)...)
 	}
-	diags = applySuppressions(pkgs, diags)
+	diags = applySuppressions(cfg, pkgs, diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -214,10 +223,13 @@ type suppressionKey struct {
 }
 
 // applySuppressions drops diagnostics covered by an
-// //lzwtcvet:ignore comment on the same line or the line above.
-func applySuppressions(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+// //lzwtcvet:ignore comment on the same line or the line above. In
+// packages matching cfg.NoSuppressPaths the comment silences nothing
+// and is instead reported as a "nosuppress" finding.
+func applySuppressions(cfg *Config, pkgs []*Package, diags []Diagnostic) []Diagnostic {
 	sup := map[suppressionKey]bool{}
 	for _, pkg := range pkgs {
+		noSuppress := matchPath(pkg.Path, cfg.NoSuppressPaths)
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
@@ -227,11 +239,19 @@ func applySuppressions(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 					if !ok {
 						continue
 					}
+					pos := pkg.Fset.Position(c.Pos())
+					if noSuppress {
+						diags = append(diags, Diagnostic{
+							Pos:     pos,
+							Check:   "nosuppress",
+							Message: fmt.Sprintf("lzwtcvet:ignore is forbidden in %s (NoSuppressPaths); fix the finding instead", pkg.Path),
+						})
+						continue
+					}
 					fields := strings.Fields(rest)
 					if len(fields) == 0 {
 						continue
 					}
-					pos := pkg.Fset.Position(c.Pos())
 					for _, name := range strings.Split(fields[0], ",") {
 						sup[suppressionKey{pos.Filename, pos.Line, name}] = true
 					}

@@ -87,6 +87,7 @@ func testConfig() *analysis.Config {
 		StrictErrorPaths: []string{"test/cmd/..."},
 		PanicAllowPaths:  []string{"test/internal/invariant"},
 		ErrorExempt:      []string{"test/internal/lib.NeverFails"},
+		NoSuppressPaths:  []string{"test/internal/nosup"},
 	}
 }
 
@@ -392,6 +393,36 @@ func WrongCheck() {
 	for _, d := range diags {
 		if d.Pos.Line != 13 && d.Pos.Line != 17 {
 			t.Errorf("unexpected surviving finding: %s", d.String())
+		}
+	}
+}
+
+func TestNoSuppressPathsRejectIgnoreComments(t *testing.T) {
+	// test/internal/nosup sits on the no-suppress list AND (for this
+	// test) in LibraryPaths: the ignore comment must not silence the
+	// panic finding, and must itself surface as a nosuppress finding.
+	cfg := testConfig()
+	cfg.LibraryPaths = append(cfg.LibraryPaths, "test/internal/nosup")
+	pkgs := loadSynthetic(t, append(deps(), synthPkg{"test/internal/nosup", `package nosup
+
+func Hidden() {
+	panic("still flagged") //lzwtcvet:ignore panicpolicy not allowed here
+}
+`}))
+	diags, err := analysis.Run(cfg, pkgs, "panicpolicy")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want the panic finding plus a nosuppress finding, got:\n%s", render(diags))
+	}
+	expect(t, diags,
+		"bare panic in library package",
+		"lzwtcvet:ignore is forbidden in test/internal/nosup",
+	)
+	for _, d := range diags {
+		if d.Check != "panicpolicy" && d.Check != "nosuppress" {
+			t.Errorf("unexpected check name %q in %s", d.Check, d.String())
 		}
 	}
 }

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"testing"
+
+	"lzwtc/internal/telemetry"
+)
+
+func TestGenerateObserved(t *testing.T) {
+	p, err := ByName("s5378")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	var events []telemetry.Event
+	rec := telemetry.New(reg, telemetry.SinkFunc(func(ev telemetry.Event) { events = append(events, ev) }))
+	cs := p.GenerateObserved(rec)
+
+	// Observed generation must be the same deterministic set.
+	if plain := p.Generate(); plain.XDensity() != cs.XDensity() {
+		t.Fatal("GenerateObserved produced a different cube set")
+	}
+	if got := reg.Counter(MetricCubeSets, "").Value(); got != 1 {
+		t.Fatalf("cubesets counter = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricGeneratedBits, "").Value(); got != int64(p.TotalBits()) {
+		t.Fatalf("generated-bits counter = %d, want %d", got, p.TotalBits())
+	}
+	var profile *telemetry.Event
+	for i := range events {
+		if events[i].Kind == EventProfile {
+			profile = &events[i]
+		}
+	}
+	if profile == nil {
+		t.Fatalf("no %s event; events: %+v", EventProfile, events)
+	}
+	if name, _ := profile.Field("circuit"); name != "s5378" {
+		t.Fatalf("profile event circuit = %v", name)
+	}
+	if actual, ok := profile.Field("x_density_actual"); !ok || actual.(float64) <= 0 {
+		t.Fatalf("profile event x_density_actual = %v, %v", actual, ok)
+	}
+}
+
+func TestGenerateObservedNilRecorder(t *testing.T) {
+	p, err := ByName("s35932")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.GenerateObserved(nil).XDensity() != p.Generate().XDensity() {
+		t.Fatal("GenerateObserved(nil) differs from Generate")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"lzwtc/internal/bitio"
 	"lzwtc/internal/bitvec"
+	"lzwtc/internal/telemetry"
 )
 
 // Stats summarizes one compression run.
@@ -24,13 +25,19 @@ type Stats struct {
 }
 
 // Ratio returns the compression ratio (1 - compressed/original) in [0,1].
-// Negative values indicate expansion.
+// Negative values indicate expansion. Empty runs return 0; consumers
+// that must distinguish "no compression" from "no input" check Empty
+// (telemetry run records carry it as an explicit field).
 func (s Stats) Ratio() float64 {
 	if s.InputBits == 0 {
 		return 0
 	}
 	return 1 - float64(s.CompressedBits)/float64(s.InputBits)
 }
+
+// Empty reports whether the run consumed no input, the case where
+// Ratio's 0 means "nothing happened" rather than "no size change".
+func (s Stats) Empty() bool { return s.InputBits == 0 }
 
 // Result is a compressed test stream: the code sequence plus everything
 // needed to invert it.
@@ -88,18 +95,59 @@ type TraceEvent struct {
 	NewEntry  *TraceEntry
 }
 
-// Compress compresses a three-valued stream under cfg.
-func Compress(stream *bitvec.Vector, cfg Config) (*Result, error) {
-	return CompressTrace(stream, cfg, nil)
+// String renders the event as one Figure 3 row, for human-readable
+// event sinks (the JSONL sink marshals the struct itself).
+func (ev TraceEvent) String() string {
+	em, ne := "-", "-"
+	if ev.Emitted != nil {
+		em = fmt.Sprintf("%d", *ev.Emitted)
+	}
+	if ev.NewEntry != nil {
+		ne = fmt.Sprintf("%d=%s", ev.NewEntry.Code, ev.NewEntry.Str)
+	}
+	return fmt.Sprintf("step=%d buffer=%s(%s) in=%s raw=%s out=%s new=%s",
+		ev.Step, ev.Buffer, ev.BufferStr, ev.Input, ev.RawInput, em, ne)
 }
 
-// CompressTrace is Compress with an optional per-step trace callback
-// (used to regenerate the paper's Figure 3).
+// Compress compresses a three-valued stream under cfg.
+func Compress(stream *bitvec.Vector, cfg Config) (*Result, error) {
+	return CompressObserved(stream, cfg, nil)
+}
+
+// CompressObserved is Compress instrumented through a telemetry
+// recorder: per-code match-length and dictionary-occupancy histograms
+// into the recorder's registry, and a run record (EventCompressRun) to
+// its sinks. A nil recorder is the production fast path — it costs one
+// pointer check per emitted code.
+func CompressObserved(stream *bitvec.Vector, cfg Config, rec *telemetry.Recorder) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return compressInternal(stream, cfg, rec, func() (*dict, error) { return newDict(cfg), nil })
+}
+
+// CompressTrace is Compress with a per-step trace callback (used to
+// regenerate the paper's Figure 3). The callback rides the telemetry
+// event stream: each EventCompressStep event carries one TraceEvent,
+// and the adapter sink below hands it to fn in emission order.
 func CompressTrace(stream *bitvec.Vector, cfg Config, trace func(TraceEvent)) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return compressInternal(stream, cfg, trace, func() (*dict, error) { return newDict(cfg), nil })
+	return compressInternal(stream, cfg, traceRecorder(trace), func() (*dict, error) { return newDict(cfg), nil })
+}
+
+// traceRecorder adapts a TraceEvent callback into an events-only
+// telemetry recorder.
+func traceRecorder(trace func(TraceEvent)) *telemetry.Recorder {
+	if trace == nil {
+		return nil
+	}
+	return telemetry.New(nil, telemetry.SinkFunc(func(ev telemetry.Event) {
+		if te, ok := StepTraceEvent(ev); ok {
+			trace(te)
+		}
+	}))
 }
 
 // compressWithDict is the preloaded-dictionary entry point.
@@ -107,10 +155,11 @@ func compressWithDict(stream *bitvec.Vector, cfg Config, mk func() (*dict, error
 	return compressInternal(stream, cfg, nil, mk)
 }
 
-func compressInternal(stream *bitvec.Vector, cfg Config, trace func(TraceEvent), mk func() (*dict, error)) (*Result, error) {
+func compressInternal(stream *bitvec.Vector, cfg Config, rec *telemetry.Recorder, mk func() (*dict, error)) (*Result, error) {
 	res := &Result{Cfg: cfg, InputBits: stream.Len()}
 	res.Stats.InputBits = stream.Len()
 	if stream.Len() == 0 {
+		recordCompressRun(rec, res.Stats)
 		return res, nil
 	}
 
@@ -121,7 +170,8 @@ func compressInternal(stream *bitvec.Vector, cfg Config, trace func(TraceEvent),
 	if err != nil {
 		return nil, err
 	}
-	e := &encoder{cfg: cfg, d: d, res: res, trace: trace, fullMask: fullMask}
+	e := &encoder{cfg: cfg, d: d, res: res, stream: stream, rec: rec,
+		m: newCompressMetrics(rec, cfg), tracing: rec.Tracing(), fullMask: fullMask}
 
 	// Step a of Figure 3: the first message character initializes Buffer.
 	val, care := stream.Chunk(0, cc)
@@ -130,11 +180,10 @@ func compressInternal(stream *bitvec.Vector, cfg Config, trace func(TraceEvent),
 		res.Stats.ResidualFills++
 	}
 	buffer := Code(first)
-	e.emitTrace(buffer, charBits(first, cc), charBits(first, cc), rawChar(stream, 0, cc), nil, nil)
+	e.traceStep(buffer, 0, false, nil, nil)
 
 	for i := 1; i < nChars; i++ {
 		val, care := stream.Chunk(i*cc, cc)
-		raw := rawChar(stream, i*cc, cc)
 		if child, ok := d.findChild(buffer, val, care, fullMask); ok {
 			// Dynamic don't-care assignment: the X bits of this character
 			// are bound to the child's character, extending the match.
@@ -143,7 +192,7 @@ func compressInternal(stream *bitvec.Vector, cfg Config, trace func(TraceEvent),
 			}
 			e.lastBit = d.lastChar[child] >> uint(cc-1) & 1
 			buffer = child
-			e.emitTrace(buffer, bufferLabel(d, buffer, cc), stringBits(d, buffer, cc), raw, nil, nil)
+			e.traceStep(buffer, i*cc, false, nil, nil)
 			continue
 		}
 		// No continuation: emit Buffer, concretize the character residually,
@@ -159,21 +208,24 @@ func compressInternal(stream *bitvec.Vector, cfg Config, trace func(TraceEvent),
 			if n := d.len(c); n > res.Stats.MaxEntryChars {
 				res.Stats.MaxEntryChars = n
 			}
-			newEntry = &TraceEntry{Code: c, Str: stringBits(d, c, cc)}
+			if e.tracing {
+				newEntry = &TraceEntry{Code: c, Str: stringBits(d, c, cc)}
+			}
 		}
 		emitted := res.Codes[len(res.Codes)-1]
 		buffer = Code(concrete)
-		e.emitTrace(buffer, charBits(concrete, cc), charBits(concrete, cc), raw, &emitted, newEntry)
+		e.traceStep(buffer, i*cc, false, &emitted, newEntry)
 	}
 	// Figure 3k: the final Buffer completes the compressed output.
 	e.emit(buffer)
 	last := res.Codes[len(res.Codes)-1]
-	e.emitTrace(buffer, bufferLabel(d, buffer, cc), stringBits(d, buffer, cc), "", &last, nil)
+	e.traceStep(buffer, 0, true, &last, nil)
 
 	res.Stats.Chars = nChars
 	res.Stats.CodesEmitted = len(res.Codes)
 	res.Stats.CompressedBits = len(res.Codes) * cfg.CodeBits()
 	res.Stats.DictResets = d.resets
+	recordCompressRun(rec, res.Stats)
 	return res, nil
 }
 
@@ -181,7 +233,10 @@ type encoder struct {
 	cfg      Config
 	d        *dict
 	res      *Result
-	trace    func(TraceEvent)
+	stream   *bitvec.Vector
+	rec      *telemetry.Recorder
+	m        *compressMetrics
+	tracing  bool
 	fullMask uint64
 	lastBit  uint64
 	step     int
@@ -189,13 +244,17 @@ type encoder struct {
 
 func (e *encoder) emit(c Code) {
 	e.res.Codes = append(e.res.Codes, c)
-	if n := e.d.len(c); n > e.res.Stats.MaxMatchChars {
+	n := e.d.len(c)
+	if n > e.res.Stats.MaxMatchChars {
 		e.res.Stats.MaxMatchChars = n
 	}
 	if c < e.d.firstCode {
 		e.res.Stats.LiteralCodes++
 	} else {
 		e.res.Stats.StringCodes++
+	}
+	if m := e.m; m != nil {
+		m.observeEmit(n, int(e.d.next-e.d.firstCode))
 	}
 }
 
@@ -224,22 +283,30 @@ func (e *encoder) fill(val, care uint64) uint64 {
 	return out
 }
 
-func (e *encoder) emitTrace(buffer Code, bufLabel, bufStr, raw string, emitted *Code, entry *TraceEntry) {
-	if e.trace == nil {
+// traceStep emits one Figure 3 step as an EventCompressStep telemetry
+// event. rawPos is the stream position of the character just consumed;
+// atEnd marks the final flush step, which has no input character. The
+// whole rendering — buffer labels, uncompressed strings, the raw
+// three-valued character — is gated on tracing, so untraced runs never
+// build a single step string.
+func (e *encoder) traceStep(buffer Code, rawPos int, atEnd bool, emitted *Code, entry *TraceEntry) {
+	if !e.tracing {
 		return
 	}
+	cc := e.cfg.CharBits
+	bufStr := stringBits(e.d, buffer, cc)
 	ev := TraceEvent{
 		Step:      e.step,
-		Buffer:    bufLabel,
+		Buffer:    bufferLabel(e.d, buffer, cc),
 		BufferStr: bufStr,
-		RawInput:  raw,
 		Emitted:   emitted,
 		NewEntry:  entry,
 	}
-	if raw != "" {
-		ev.Input = bufStr[len(bufStr)-e.cfg.CharBits:]
+	if !atEnd {
+		ev.RawInput = rawChar(e.stream, rawPos, cc)
+		ev.Input = bufStr[len(bufStr)-cc:]
 	}
-	e.trace(ev)
+	e.rec.Emit(EventCompressStep, telemetry.F("event", ev))
 	e.step++
 }
 

@@ -1,0 +1,130 @@
+package core
+
+import "lzwtc/internal/telemetry"
+
+// Event kinds the compressor and software decompressor emit through a
+// telemetry recorder. Per-step events carry their paper-figure payload
+// under the "event" field; run events summarize a whole stream.
+const (
+	EventCompressStep   = "compress.step"   // one TraceEvent per Figure 3 step
+	EventCompressRun    = "compress.run"    // one summary record per compression run
+	EventDecompressStep = "decompress.step" // one DecompressTraceEvent per Figure 4 step
+)
+
+// Registry metric names for the compressor. Counters aggregate across
+// runs; the histograms observe per-code quantities (the raw material of
+// the paper's Tables 1 and 5: how long the emitted strings get, and how
+// quickly the N-code dictionary fills).
+const (
+	MetricCompressRuns          = "lzwtc_compress_runs_total"
+	MetricCompressEmptyRuns     = "lzwtc_compress_empty_runs_total"
+	MetricCompressInputBits     = "lzwtc_compress_input_bits_total"
+	MetricCompressChars         = "lzwtc_compress_chars_total"
+	MetricCompressCodes         = "lzwtc_compress_codes_total"
+	MetricCompressCompressed    = "lzwtc_compress_compressed_bits_total"
+	MetricCompressLiteralCodes  = "lzwtc_compress_literal_codes_total"
+	MetricCompressStringCodes   = "lzwtc_compress_string_codes_total"
+	MetricCompressDictEntries   = "lzwtc_compress_dict_entries_total"
+	MetricCompressDictResets    = "lzwtc_compress_dict_resets_total"
+	MetricCompressResidualFills = "lzwtc_compress_residual_fills_total"
+	MetricCompressDynamicFills  = "lzwtc_compress_dynamic_fills_total"
+	MetricCompressMatchLen      = "lzwtc_compress_match_len_chars"
+	MetricCompressOccupancy     = "lzwtc_compress_dict_occupancy"
+	MetricCompressRatio         = "lzwtc_compress_ratio"
+)
+
+// MatchLenBuckets returns the histogram bounds for emitted-string
+// lengths, in characters. The paper's C_MDATA sweep (Table 5) spans
+// 9–73 characters per entry at C_C=7, so the tail buckets cover it.
+func MatchLenBuckets() []float64 {
+	return []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96}
+}
+
+// OccupancyBuckets returns the histogram bounds for dictionary
+// occupancy, as the filled fraction of the N−2^C_C string-code space.
+func OccupancyBuckets() []float64 {
+	return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1}
+}
+
+// compressMetrics holds the per-code hot-loop instruments, resolved
+// once per run so the loop never touches the registry by name. A nil
+// *compressMetrics is the disabled path: one pointer check per emitted
+// code.
+type compressMetrics struct {
+	matchLen    *telemetry.Histogram
+	occupancy   *telemetry.Histogram
+	stringSpace float64 // N − 2^C_C, the occupancy denominator
+}
+
+func newCompressMetrics(rec *telemetry.Recorder, cfg Config) *compressMetrics {
+	reg := rec.Registry()
+	if reg == nil {
+		return nil
+	}
+	return &compressMetrics{
+		matchLen:    reg.Histogram(MetricCompressMatchLen, "emitted string length in characters", MatchLenBuckets()),
+		occupancy:   reg.Histogram(MetricCompressOccupancy, "dictionary occupancy fraction at each code emission", OccupancyBuckets()),
+		stringSpace: float64(cfg.DictSize - cfg.Literals()),
+	}
+}
+
+// observeEmit records one code emission: its match length and the
+// dictionary occupancy at that moment. used is the current string-entry
+// count.
+func (m *compressMetrics) observeEmit(matchChars, used int) {
+	m.matchLen.Observe(float64(matchChars))
+	occ := 1.0
+	if m.stringSpace > 0 {
+		occ = float64(used) / m.stringSpace
+	}
+	m.occupancy.Observe(occ)
+}
+
+// recordCompressRun folds a finished run's Stats into the recorder:
+// aggregate counters, the last-run ratio gauge, and one EventCompressRun
+// event. Zero-input runs are explicit — the event carries empty=true
+// and the empty-runs counter increments — rather than hiding behind
+// Stats.Ratio's silent 0.
+func recordCompressRun(rec *telemetry.Recorder, st Stats) {
+	if !rec.Enabled() {
+		return
+	}
+	if reg := rec.Registry(); reg != nil {
+		reg.Counter(MetricCompressRuns, "compression runs").Inc()
+		if st.InputBits == 0 {
+			reg.Counter(MetricCompressEmptyRuns, "zero-input compression runs").Inc()
+		}
+		reg.Counter(MetricCompressInputBits, "uncompressed input bits").Add(int64(st.InputBits))
+		reg.Counter(MetricCompressChars, "characters consumed").Add(int64(st.Chars))
+		reg.Counter(MetricCompressCodes, "codes emitted").Add(int64(st.CodesEmitted))
+		reg.Counter(MetricCompressCompressed, "compressed output bits").Add(int64(st.CompressedBits))
+		reg.Counter(MetricCompressLiteralCodes, "codes in the literal range").Add(int64(st.LiteralCodes))
+		reg.Counter(MetricCompressStringCodes, "codes in the dictionary range").Add(int64(st.StringCodes))
+		reg.Counter(MetricCompressDictEntries, "dictionary entries created").Add(int64(st.DictEntries))
+		reg.Counter(MetricCompressDictResets, "FullReset occurrences").Add(int64(st.DictResets))
+		reg.Counter(MetricCompressResidualFills, "characters concretized by the fill policy").Add(int64(st.ResidualFills))
+		reg.Counter(MetricCompressDynamicFills, "X-laden characters concretized by a dictionary walk").Add(int64(st.DynamicFills))
+		reg.Gauge(MetricCompressRatio, "last run compression ratio").Set(st.Ratio())
+	}
+	rec.Emit(EventCompressRun,
+		telemetry.F("empty", st.Empty()),
+		telemetry.F("ratio", st.Ratio()),
+		telemetry.F("stats", st),
+	)
+}
+
+// StepTraceEvent extracts the Figure 3 TraceEvent payload from an
+// EventCompressStep telemetry event. The CompressTrace callback API is
+// rebuilt from exactly this, so a JSONL sink and a trace callback see
+// the same step stream.
+func StepTraceEvent(ev telemetry.Event) (TraceEvent, bool) {
+	if ev.Kind != EventCompressStep {
+		return TraceEvent{}, false
+	}
+	v, ok := ev.Field("event")
+	if !ok {
+		return TraceEvent{}, false
+	}
+	te, ok := v.(TraceEvent)
+	return te, ok
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"lzwtc/internal/bitvec"
+	"lzwtc/internal/telemetry"
+)
+
+// formatTraceEvent renders a TraceEvent in the tuple form used by the
+// golden below, captured from the pre-telemetry CompressTrace.
+func formatTraceEvent(ev TraceEvent) string {
+	em, ne := "-", "-"
+	if ev.Emitted != nil {
+		em = fmt.Sprintf("%d", *ev.Emitted)
+	}
+	if ev.NewEntry != nil {
+		ne = fmt.Sprintf("%d=%s", ev.NewEntry.Code, ev.NewEntry.Str)
+	}
+	return fmt.Sprintf("{%d, %q, %q, %q, %q, %q, %q}",
+		ev.Step, ev.Buffer, ev.BufferStr, ev.Input, ev.RawInput, em, ne)
+}
+
+// TestCompressTraceEventOrder pins the exact event sequence CompressTrace
+// produced before the callback was rerouted through telemetry sinks: the
+// rewire must not reorder, drop, or alter a single step.
+func TestCompressTraceEventOrder(t *testing.T) {
+	want := []string{
+		`{0, "0", "0", "0", "0", "-", "-"}`,
+		`{1, "1", "1", "1", "1", "0", "2=01"}`,
+		`{2, "0", "0", "0", "X", "1", "3=10"}`,
+		`{3, "2", "01", "1", "X", "-", "-"}`,
+		`{4, "1", "1", "1", "1", "2", "4=011"}`,
+		`{5, "3", "10", "0", "0", "-", "-"}`,
+		`{6, "0", "0", "0", "X", "3", "5=100"}`,
+		`{7, "2", "01", "1", "X", "-", "-"}`,
+		`{8, "0", "0", "0", "0", "2", "6=010"}`,
+		`{9, "2", "01", "1", "X", "-", "-"}`,
+		`{10, "4", "011", "1", "1", "-", "-"}`,
+		`{11, "1", "1", "1", "1", "4", "7=0111"}`,
+		`{12, "3", "10", "0", "0", "-", "-"}`,
+		`{13, "5", "100", "0", "X", "-", "-"}`,
+		`{14, "0", "0", "0", "0", "5", "-"}`,
+		`{15, "0", "0", "0", "0", "0", "-"}`,
+		`{16, "0", "0", "", "", "0", "-"}`,
+	}
+	stream := bitvec.MustParse("01XX10XX0X110X00")
+	cfg := Config{CharBits: 1, DictSize: 8, EntryBits: 0}
+	var got []string
+	if _, err := CompressTrace(stream, cfg, func(ev TraceEvent) {
+		got = append(got, formatTraceEvent(ev))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("trace produced %d events, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d:\n got %s\nwant %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCompressStepEventsMatchTraceCallback runs the same stream through
+// a JSONL sink and through the CompressTrace callback; both ride the
+// same EventCompressStep stream, so the step counts must agree and the
+// sink lines must carry the step payload.
+func TestCompressStepEventsMatchTraceCallback(t *testing.T) {
+	stream := bitvec.MustParse("01XX10XX0X110X00")
+	cfg := Config{CharBits: 1, DictSize: 8, EntryBits: 0}
+
+	var steps int
+	if _, err := CompressTrace(stream, cfg, func(TraceEvent) { steps++ }); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	rec := telemetry.New(nil, telemetry.NewJSONLSink(&buf))
+	if _, err := CompressObserved(stream, cfg, rec); err != nil {
+		t.Fatal(err)
+	}
+	var sinkSteps int
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if strings.Contains(line, `"kind":"compress.step"`) {
+			sinkSteps++
+		}
+	}
+	if sinkSteps != steps {
+		t.Fatalf("sink saw %d step events, trace callback saw %d", sinkSteps, steps)
+	}
+	if !strings.Contains(buf.String(), `"kind":"compress.run"`) {
+		t.Fatalf("sink missing compress.run record:\n%s", buf.String())
+	}
+}
+
+// TestCompressObservedMetrics checks the registry aggregates agree with
+// the returned Stats, and that the per-code histograms saw one
+// observation per emitted code.
+func TestCompressObservedMetrics(t *testing.T) {
+	stream := bitvec.MustParse("01XX10XX0X110X00" + "1X0X1X0X" + "00110011")
+	cfg := Config{CharBits: 2, DictSize: 16, EntryBits: 0}
+	reg := telemetry.NewRegistry()
+	rec := telemetry.New(reg)
+	res, err := CompressObserved(stream, cfg, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	for _, tc := range []struct {
+		metric string
+		want   int
+	}{
+		{MetricCompressRuns, 1},
+		{MetricCompressEmptyRuns, 0},
+		{MetricCompressInputBits, st.InputBits},
+		{MetricCompressChars, st.Chars},
+		{MetricCompressCodes, st.CodesEmitted},
+		{MetricCompressCompressed, st.CompressedBits},
+		{MetricCompressLiteralCodes, st.LiteralCodes},
+		{MetricCompressStringCodes, st.StringCodes},
+		{MetricCompressDictEntries, st.DictEntries},
+		{MetricCompressDictResets, st.DictResets},
+		{MetricCompressResidualFills, st.ResidualFills},
+		{MetricCompressDynamicFills, st.DynamicFills},
+	} {
+		if got := reg.Counter(tc.metric, "").Value(); got != int64(tc.want) {
+			t.Errorf("%s = %d, want %d", tc.metric, got, tc.want)
+		}
+	}
+	if got := reg.Gauge(MetricCompressRatio, "").Value(); got != st.Ratio() {
+		t.Errorf("ratio gauge = %v, want %v", got, st.Ratio())
+	}
+	for _, name := range []string{MetricCompressMatchLen, MetricCompressOccupancy} {
+		if got := reg.Histogram(name, "", nil).Count(); got != int64(st.CodesEmitted) {
+			t.Errorf("%s count = %d, want %d (one observation per code)", name, got, st.CodesEmitted)
+		}
+	}
+}
+
+// TestCompressObservedEmptyRun: zero-input runs must be explicit in
+// telemetry (empty=true event field plus the empty-runs counter), not
+// hidden behind Stats.Ratio's silent 0.
+func TestCompressObservedEmptyRun(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var events []telemetry.Event
+	rec := telemetry.New(reg, telemetry.SinkFunc(func(ev telemetry.Event) { events = append(events, ev) }))
+	res, err := CompressObserved(bitvec.New(0), DefaultConfig(), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Empty() {
+		t.Fatal("Stats.Empty() = false for zero-input run")
+	}
+	if res.Stats.Ratio() != 0 {
+		t.Fatalf("empty Ratio = %v, want 0", res.Stats.Ratio())
+	}
+	if got := reg.Counter(MetricCompressEmptyRuns, "").Value(); got != 1 {
+		t.Fatalf("empty-runs counter = %d, want 1", got)
+	}
+	var run *telemetry.Event
+	for i := range events {
+		if events[i].Kind == EventCompressRun {
+			run = &events[i]
+		}
+	}
+	if run == nil {
+		t.Fatalf("no %s event emitted; events: %+v", EventCompressRun, events)
+	}
+	if v, ok := run.Field("empty"); !ok || v != true {
+		t.Fatalf("compress.run empty field = %v, %v; want true", v, ok)
+	}
+}
+
+// TestCompressNilRecorderMatchesObserved: the nil-recorder path must
+// produce byte-identical results to an instrumented run.
+func TestCompressNilRecorderMatchesObserved(t *testing.T) {
+	stream := bitvec.MustParse("01XX10XX0X110X001XX0")
+	cfg := Config{CharBits: 2, DictSize: 16, EntryBits: 0}
+	plain, err := Compress(stream, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := telemetry.New(telemetry.NewRegistry(), telemetry.NewJSONLSink(&bytes.Buffer{}))
+	obs, err := CompressObserved(stream, cfg, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Codes) != len(obs.Codes) {
+		t.Fatalf("code counts differ: %d vs %d", len(plain.Codes), len(obs.Codes))
+	}
+	for i := range plain.Codes {
+		if plain.Codes[i] != obs.Codes[i] {
+			t.Fatalf("code %d differs: %d vs %d", i, plain.Codes[i], obs.Codes[i])
+		}
+	}
+	if plain.Stats != obs.Stats {
+		t.Fatalf("stats differ:\nplain: %+v\nobs:   %+v", plain.Stats, obs.Stats)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"lzwtc/internal/bitvec"
 	"lzwtc/internal/core"
 	"lzwtc/internal/mem"
+	"lzwtc/internal/telemetry"
 )
 
 // Stats reports the cycle accounting of one decompression run.
@@ -57,10 +58,12 @@ type Event struct {
 
 // Decompressor is the hardware model. Create one per run with New.
 type Decompressor struct {
-	cfg    core.Config
-	ratio  int
-	shared *mem.Shared
-	trace  func(Event)
+	cfg         core.Config
+	ratio       int
+	shared      *mem.Shared
+	trace       func(Event)
+	rec         *telemetry.Recorder
+	patternBits int
 
 	// registers
 	next      core.Code // next free dictionary location
@@ -106,6 +109,18 @@ func New(cfg core.Config, ratio int, shared *mem.Shared) (*Decompressor, error) 
 
 // SetTrace installs a code-level trace callback.
 func (d *Decompressor) SetTrace(f func(Event)) { d.trace = f }
+
+// SetRecorder installs a telemetry recorder: Run folds its Stats into
+// the recorder's registry and emits run (and, with SetPatternBits,
+// per-pattern) event records. A nil recorder — the default — keeps the
+// cycle loop on the uninstrumented path.
+func (d *Decompressor) SetRecorder(rec *telemetry.Recorder) { d.rec = rec }
+
+// SetPatternBits sets the scan-pattern width so Run can charge internal
+// cycles, memory reads, and load stalls to individual patterns
+// (EventPattern records plus the pattern-cycles histogram). Zero — the
+// default — disables per-pattern accounting.
+func (d *Decompressor) SetPatternBits(w int) { d.patternBits = w }
 
 // Preload writes a warm-start dictionary into the embedded memory
 // through the LZW port before decompression begins — the amortization
@@ -169,6 +184,7 @@ func (d *Decompressor) Run(packed []byte, nCodes, outBits int) (*bitvec.Vector, 
 	cycle := 0
 	pos := 0 // output write position (bits)
 	var scratch []uint64
+	meter := newPatternMeter(d.rec, d.patternBits)
 
 	// The input shifter is single-buffered, exactly as Figure 5 draws it:
 	// "the process starts when C_E is fully loaded into its input
@@ -287,6 +303,7 @@ func (d *Decompressor) Run(packed []byte, nCodes, outBits int) (*bitvec.Vector, 
 		d.cmlast = d.cmlast[:cap(d.cmlast)]
 		d.haveLast = true
 		d.stats.CodesDecoded++
+		meter.observe(pos, cycle, &d.stats)
 	}
 
 	if pos < outBits {
@@ -299,6 +316,7 @@ func (d *Decompressor) Run(packed []byte, nCodes, outBits int) (*bitvec.Vector, 
 	d.stats.TesterCycles = (cycle + d.ratio - 1) / d.ratio
 	d.stats.OutputBits = outBits
 	st := d.stats
+	recordRun(d.rec, d.ratio, st)
 	return out, &st, nil
 }
 

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// MarshalJSON renders the bucket with its upper bound as a string
+// ("+Inf" for the overflow bucket), matching the Prometheus "le" label
+// convention — encoding/json cannot represent infinities as numbers.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	return []byte(`{"le":` + strconv.Quote(formatBound(b.UpperBound)) +
+		`,"count":` + strconv.FormatInt(b.Count, 10) + `}`), nil
+}
+
+// UnmarshalJSON parses the string-bound form MarshalJSON writes, so
+// snapshots embedded in run records round-trip.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Le    string `json:"le"`
+		Count int64  `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	bound, err := parseBound(raw.Le)
+	if err != nil {
+		return fmt.Errorf("telemetry: bad bucket bound %q: %w", raw.Le, err)
+	}
+	b.UpperBound = bound
+	b.Count = raw.Count
+	return nil
+}
+
+func formatBound(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func parseBound(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE headers, counters and
+// gauges as plain samples, histograms as cumulative _bucket{le=...}
+// series plus _sum and _count.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, c := range s.Counters {
+		if err := writeHeader(w, c.Name, c.Help, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := writeHeader(w, g.Name, g.Help, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", g.Name, formatBound(g.Value)); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if err := writeHeader(w, h.Name, h.Help, "histogram"); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.Name, formatBound(b.UpperBound), b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", h.Name, formatBound(h.Sum), h.Name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, name, help, typ string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	return err
+}
+
+// WriteText renders the snapshot as aligned human-readable text:
+// counters and gauges one per line, histograms with per-bucket
+// cumulative counts indented beneath their summary line.
+func (s Snapshot) WriteText(w io.Writer) error {
+	width := 0
+	for _, c := range s.Counters {
+		width = max(width, len(c.Name))
+	}
+	for _, g := range s.Gauges {
+		width = max(width, len(g.Name))
+	}
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "%-*s %d\n", width, c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "%-*s %s\n", width, g.Name, formatBound(g.Value)); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if _, err := fmt.Fprintf(w, "%s count=%d sum=%s\n", h.Name, h.Count, formatBound(h.Sum)); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			if b.Count == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "  le %s: %d\n", formatBound(b.UpperBound), b.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// TextSink renders events as human-readable lines:
+//
+//	[   0.001234s] compress.run empty=false ratio=0.806
+//
+// Write errors are captured, not dropped: the first one is retained and
+// reported by Err, and later events are discarded.
+type TextSink struct {
+	w   io.Writer
+	err error
+}
+
+// NewTextSink returns a text sink over w.
+func NewTextSink(w io.Writer) *TextSink { return &TextSink{w: w} }
+
+// Emit implements Sink.
+func (s *TextSink) Emit(ev Event) {
+	if s.err != nil {
+		return
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "[%12.6fs] %s", ev.Elapsed.Seconds(), ev.Kind)
+	for _, f := range ev.Fields {
+		fmt.Fprintf(&buf, " %s=%v", f.Key, f.Value)
+	}
+	buf.WriteByte('\n')
+	if _, err := s.w.Write(buf.Bytes()); err != nil {
+		s.err = err
+	}
+}
+
+// Err returns the first write error, if any.
+func (s *TextSink) Err() error { return s.err }
+
+// JSONLSink renders one JSON object per event per line:
+//
+//	{"t_us":1234,"kind":"compress.run","empty":false,"ratio":0.806}
+//
+// Field order is preserved. Values that encoding/json cannot marshal
+// fall back to their %v rendering as a JSON string. Write errors are
+// captured as in TextSink.
+type JSONLSink struct {
+	w   io.Writer
+	err error
+}
+
+// NewJSONLSink returns a JSONL sink over w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(ev Event) {
+	if s.err != nil {
+		return
+	}
+	var buf bytes.Buffer
+	buf.WriteString(`{"t_us":`)
+	buf.WriteString(strconv.FormatInt(ev.Elapsed.Microseconds(), 10))
+	buf.WriteString(`,"kind":`)
+	buf.WriteString(strconv.Quote(ev.Kind))
+	for _, f := range ev.Fields {
+		buf.WriteByte(',')
+		buf.WriteString(strconv.Quote(f.Key))
+		buf.WriteByte(':')
+		b, err := json.Marshal(f.Value)
+		if err != nil {
+			b = []byte(strconv.Quote(fmt.Sprintf("%v", f.Value)))
+		}
+		buf.Write(b)
+	}
+	buf.WriteString("}\n")
+	if _, err := s.w.Write(buf.Bytes()); err != nil {
+		s.err = err
+	}
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error { return s.err }

@@ -1,0 +1,174 @@
+// Package telemetry is the instrumentation substrate for the lzwtc
+// pipeline: a metrics registry (counters, gauges, histograms),
+// span-style phase timing, and pluggable event sinks (human text, JSONL,
+// Prometheus text exposition). Standard library only.
+//
+// The paper's entire argument is quantitative — compression ratio per
+// circuit (Table 3), dictionary/entry-size tradeoffs (Tables 1–2, 4–6)
+// and decompressor cycle counts against the ATE clock multiple — so
+// every stage of the pipeline records through this package rather than
+// through ad-hoc printf. The compressor's hot loop stays cheap by
+// construction: every type here is nil-safe, so a disabled pipeline
+// (nil *Recorder, nil *Counter, ...) costs exactly one pointer check
+// per call site and allocates nothing.
+//
+// Concurrency: Registry and its metrics are safe for concurrent use
+// (atomics throughout). Recorder serializes sink emission internally;
+// the sink implementations themselves are single-writer.
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Field is one key/value pair attached to an Event. Field order is
+// preserved by the sinks, so emitters control the rendering order.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Event is one timestamped occurrence in a run: a compressor step, a
+// phase-span completion, a per-pattern cycle record. Elapsed is the
+// offset from the Recorder's start, which keeps event streams
+// deterministic under an injected clock.
+type Event struct {
+	Elapsed time.Duration
+	Kind    string
+	Fields  []Field
+}
+
+// Field returns the value of the named field and whether it is present.
+func (e Event) Field(key string) (any, bool) {
+	for _, f := range e.Fields {
+		if f.Key == key {
+			return f.Value, true
+		}
+	}
+	return nil, false
+}
+
+// Sink consumes events. Sinks are driven under the Recorder's lock and
+// need no internal synchronization.
+type Sink interface {
+	Emit(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(ev Event) { f(ev) }
+
+// Recorder bundles a metrics registry with zero or more event sinks.
+// A nil Recorder is the disabled instrumentation: every method is a
+// nil-safe no-op, so callers thread one pointer unconditionally.
+type Recorder struct {
+	reg   *Registry
+	sinks []Sink
+	now   func() time.Time
+	start time.Time
+	mu    sync.Mutex // serializes sink emission
+}
+
+// New builds a Recorder over an optional registry and sinks. Either may
+// be absent: a metrics-only recorder passes no sinks, an events-only
+// recorder passes a nil registry.
+func New(reg *Registry, sinks ...Sink) *Recorder {
+	return NewWithClock(reg, time.Now, sinks...)
+}
+
+// NewWithClock is New with an injected clock, for deterministic event
+// timestamps in tests and golden files.
+func NewWithClock(reg *Registry, now func() time.Time, sinks ...Sink) *Recorder {
+	return &Recorder{reg: reg, sinks: sinks, now: now, start: now()}
+}
+
+// Enabled reports whether any instrumentation is attached.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Tracing reports whether per-step events have anywhere to go. Hot
+// loops gate the construction of expensive event payloads on this, so a
+// metrics-only recorder never pays for trace rendering.
+func (r *Recorder) Tracing() bool { return r != nil && len(r.sinks) > 0 }
+
+// Registry returns the metrics registry, or nil when disabled.
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// Emit delivers an event to every sink. No-op when disabled or sinkless.
+func (r *Recorder) Emit(kind string, fields ...Field) {
+	if r == nil || len(r.sinks) == 0 {
+		return
+	}
+	ev := Event{Elapsed: r.now().Sub(r.start), Kind: kind, Fields: fields}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.sinks {
+		s.Emit(ev)
+	}
+}
+
+// Span starts a named phase span (parse, compress, pack, decompress,
+// verify, or any sub-phase). End the returned span to record its
+// duration in the registry histogram lzwtc_phase_seconds_<name> and to
+// emit a "span" event. A nil Recorder returns a nil Span whose End is a
+// no-op.
+func (r *Recorder) Span(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{r: r, name: name, start: r.now()}
+}
+
+// Span is one in-flight phase timing. Created by Recorder.Span.
+type Span struct {
+	r     *Recorder
+	name  string
+	start time.Time
+}
+
+// End completes the span, recording its duration and emitting a "span"
+// event carrying the span name, duration and any extra fields.
+func (s *Span) End(fields ...Field) {
+	if s == nil {
+		return
+	}
+	d := s.r.now().Sub(s.start)
+	s.r.reg.Histogram(PhaseMetricName(s.name), "phase duration in seconds", DurationBuckets()).
+		Observe(d.Seconds())
+	ev := append([]Field{F("name", s.name), F("dur_us", d.Microseconds())}, fields...)
+	s.r.Emit("span", ev...)
+}
+
+// PhaseMetricName maps a span name to its registry histogram name,
+// normalizing separators to Prometheus-legal characters.
+func PhaseMetricName(span string) string {
+	b := []byte("lzwtc_phase_seconds_" + span)
+	for i := range b {
+		switch {
+		case b[i] >= 'a' && b[i] <= 'z', b[i] >= 'A' && b[i] <= 'Z',
+			b[i] >= '0' && b[i] <= '9', b[i] == '_':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// DurationBuckets returns the default histogram bounds for phase
+// durations, in seconds: 1µs to 10s, decades with a 1-2.5-5 split.
+func DurationBuckets() []float64 {
+	return []float64{
+		1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
