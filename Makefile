@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 
-.PHONY: build vet test race lzwtcvet fuzz telemetry-overhead verify
+.PHONY: build vet test race lzwtcvet fuzz telemetry-overhead batch-bench verify
 
 build:
 	$(GO) build ./...
@@ -36,4 +36,10 @@ fuzz:
 telemetry-overhead:
 	$(GO) test -run='^$$' -bench='BenchmarkCompressTelemetry' -benchtime=$(BENCHTIME) ./internal/core
 
-verify: build vet test race lzwtcvet fuzz telemetry-overhead
+# Batch pool smoke: the parallel engine's throughput benchmarks must run
+# clean at every worker count. Raise BENCHTIME for real scaling numbers
+# on a multicore machine (patterns/s at 1, 4 and NumCPU workers).
+batch-bench:
+	$(GO) test -run='^$$' -bench='BenchmarkBatchCompress' -benchtime=$(BENCHTIME) ./internal/parallel
+
+verify: build vet test race lzwtcvet fuzz telemetry-overhead batch-bench

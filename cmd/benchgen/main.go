@@ -4,20 +4,28 @@
 //
 //	benchgen -list
 //	benchgen -circuit s13207 -out s13207.cubes
+//	benchgen -all -dir workloads/ -workers 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 
 	"lzwtc/internal/bench"
+	"lzwtc/internal/parallel"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list available circuits and exit")
 	name := flag.String("circuit", "", "circuit to generate (see -list)")
 	out := flag.String("out", "-", "cube output file (- for stdout)")
+	all := flag.Bool("all", false, "generate every circuit concurrently (requires -dir)")
+	dir := flag.String("dir", "", "output directory for -all (one <circuit>.cubes per profile)")
+	workers := flag.Int("workers", 0, "worker bound for -all (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -25,6 +33,13 @@ func main() {
 		for _, p := range bench.Profiles() {
 			fmt.Printf("%-8s %-8s %9d %9d %10.2f%% %6d\n",
 				p.Name, p.Suite, p.ScanLen, p.Patterns, 100*p.XDensity, p.DictSize)
+		}
+		return
+	}
+	if *all {
+		if err := generateAll(*dir, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -50,4 +65,56 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "%s: %d patterns x %d bits, %.2f%% don't-cares (target %.2f%%)\n",
 		p.Name, len(cs.Cubes), cs.Width, 100*cs.XDensity(), 100*p.XDensity)
+}
+
+// generateAll writes every profile's cube set into dir through the
+// batch pool; generation and file writes run concurrently, one file per
+// circuit. SIGINT cancels cleanly mid-batch.
+func generateAll(dir string, workers int) error {
+	if dir == "" {
+		return fmt.Errorf("-all requires -dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	profiles := bench.Profiles()
+	outcomes, err := parallel.Map(ctx, profiles, parallel.Options{Workers: workers, Policy: parallel.CollectAll},
+		func(_ context.Context, _ int, p bench.Profile) (string, error) {
+			cs := p.Generate()
+			path := filepath.Join(dir, p.Name+".cubes")
+			f, err := os.Create(path)
+			if err != nil {
+				return "", err
+			}
+			if err := cs.WriteCubes(f); err != nil {
+				if cerr := f.Close(); cerr != nil {
+					err = fmt.Errorf("%w (also closing %s: %v)", err, path, cerr)
+				}
+				return "", err
+			}
+			if err := f.Close(); err != nil {
+				return "", err
+			}
+			return path, nil
+		})
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for i, o := range outcomes {
+		if o.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "benchgen: %s: %v\n", profiles[i].Name, o.Err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%s: %d patterns x %d bits -> %s\n",
+			profiles[i].Name, profiles[i].Patterns, profiles[i].ScanLen, o.Value)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d circuits failed", failed, len(profiles))
+	}
+	return nil
 }

@@ -7,9 +7,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"lzwtc/internal/experiments"
@@ -20,9 +23,15 @@ func main() {
 	run := flag.String("run", "all", "experiment to run: all, "+strings.Join(experiments.Names(), ", "))
 	md := flag.Bool("md", false, "emit GitHub-flavored markdown instead of fixed-width text")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	workers := flag.Int("workers", 0, "worker bound for pool-backed sweep tables (0 = GOMAXPROCS)")
 	tel := flag.String("telemetry", "", "event stream format to stderr: text or jsonl (off when empty)")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus text exposition here on exit")
 	flag.Parse()
+
+	// SIGINT cancels the run: pool-backed sweeps stop dispatching and
+	// drain, remaining experiments are skipped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	if *list {
 		for _, n := range experiments.Names() {
@@ -54,8 +63,12 @@ func main() {
 		names = strings.Split(*run, ",")
 	}
 	for i, name := range names {
-		t, err := experiments.RunObserved(strings.TrimSpace(name), rec)
+		t, err := experiments.RunObservedCtx(ctx, strings.TrimSpace(name), *workers, rec)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "experiments: interrupted")
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}

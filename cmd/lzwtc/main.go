@@ -7,19 +7,23 @@
 //	lzwtc decompress -in cubes.lzw -out filled.txt
 //	lzwtc info      -in cubes.lzw [-json]
 //	lzwtc stats     -in cubes.txt [-json]      # full pipeline run record
+//	lzwtc batch     -manifest jobs.txt -out-dir out/ [-workers N -policy collect]
 //	lzwtc compare   -in cubes.txt              # all coders side by side
 //	lzwtc verify    -cubes cubes.txt -filled filled.txt
 //
 // Every pipeline subcommand also accepts the observability flags
 // -telemetry {text|jsonl}, -telemetry-out, -metrics-out, -cpuprofile
-// and -memprofile.
+// and -memprofile. SIGINT cancels batch and stats runs cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"lzwtc"
 	"lzwtc/internal/huffman"
@@ -32,6 +36,11 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	// SIGINT propagates as context cancellation into the long-running
+	// subcommands: in-flight pool jobs drain, nothing half-written stays.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var err error
 	switch os.Args[1] {
 	case "compress":
@@ -41,7 +50,9 @@ func main() {
 	case "info":
 		err = info(os.Args[2:])
 	case "stats":
-		err = stats(os.Args[2:])
+		err = stats(ctx, os.Args[2:])
+	case "batch":
+		err = batch(ctx, os.Args[2:])
 	case "compare":
 		err = compare(os.Args[2:])
 	case "verify":
@@ -50,13 +61,17 @@ func main() {
 		usage()
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "lzwtc: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "lzwtc: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lzwtc {compress|decompress|info|stats|compare|verify} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lzwtc {compress|decompress|info|stats|batch|compare|verify} [flags]")
 	os.Exit(2)
 }
 

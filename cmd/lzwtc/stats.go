@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -14,8 +15,10 @@ import (
 // verify — on a cube file, under telemetry spans, and prints one run
 // record: the Table 1–3 quantities (ratio, code/char/dict-reset counts,
 // the match-length histogram) plus the decompressor cycle totals when
-// the configuration is hardware-realizable.
-func stats(args []string) error {
+// the configuration is hardware-realizable. The context is checked
+// between pipeline phases, so SIGINT stops the run at the next phase
+// boundary.
+func stats(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	in := fs.String("in", "-", "input cube file (- for stdin)")
 	cfg := configFlags(fs)
@@ -37,6 +40,9 @@ func stats(args []string) error {
 		rec = telemetry.New(reg)
 	}
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	sp := rec.Span("parse")
 	r, err := openIn(*in)
 	if err != nil {
@@ -49,6 +55,9 @@ func stats(args []string) error {
 		return err
 	}
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	sp = rec.Span("compress")
 	res, err := lzwtc.CompressObserved(ts, *cfg, rec)
 	sp.End()
@@ -62,6 +71,9 @@ func stats(args []string) error {
 
 	record := lzwtc.NewRunRecord(res)
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	// Decompress through the cycle-accurate hardware model when the
 	// configuration has a hardware realization; otherwise through the
 	// software decoder (no cycle record either way the bits are checked).

@@ -114,10 +114,11 @@ func DefaultConfig() Config {
 			"internal/bitio", "internal/core", "internal/decomp",
 			"internal/bitvec", "internal/compact", "internal/huffman",
 			"internal/lz77", "internal/rle", "internal/telemetry",
+			"internal/parallel",
 		},
 		StrictErrorPaths: []string{"lzwtc", "lzwtc/cmd/...", "lzwtc/examples/..."},
 		PanicAllowPaths:  []string{"internal/invariant"},
-		NoSuppressPaths:  []string{"internal/telemetry"},
+		NoSuppressPaths:  []string{"internal/telemetry", "internal/parallel"},
 		ErrorExempt: []string{
 			"fmt.Print*",
 			"fmt.Fprint*",

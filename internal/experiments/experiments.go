@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -170,60 +171,17 @@ func Table3() (*report.Table, error) {
 // Table4 reproduces "Compression versus LZW Character Size": C_C in
 // {1, 4, 7, 10} with N = 1024 and C_MDATA = 63. At C_C = 10 the literal
 // space fills the whole dictionary and compression collapses to zero.
+// The grid runs on the batch pool (see sweep.go); output is identical
+// to the sequential loop for any worker count.
 func Table4() (*report.Table, error) {
-	t := &report.Table{
-		Title:   "Table 4. Compression versus LZW Character Size (N=1024, C_MDATA=63)",
-		Headers: []string{"Test", "1", "4", "7", "10"},
-	}
-	for _, name := range bench.Table1Names() {
-		p, err := bench.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		row := []interface{}{name}
-		for _, cc := range []int{1, 4, 7, 10} {
-			cfg := core.Config{CharBits: cc, DictSize: 1024, EntryBits: 63}
-			if cc == 10 {
-				// 63-bit entries cannot hold even one 10-bit character;
-				// the paper's point at C_C=10 is the exhausted code space,
-				// so give the entry one character of room.
-				cfg.EntryBits = 70
-			}
-			_, r, err := compressLZW(p, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, r)
-		}
-		t.Add(row...)
-	}
-	return t, nil
+	return Table4Ctx(context.Background(), 0)
 }
 
 // Table5 reproduces "Compression versus Entry Size": C_MDATA in
-// {63, 127, 255, 511} with N = 1024 and C_C = 7.
+// {63, 127, 255, 511} with N = 1024 and C_C = 7. The grid runs on the
+// batch pool (see sweep.go).
 func Table5() (*report.Table, error) {
-	t := &report.Table{
-		Title:   "Table 5. Compression versus Entry Size (N=1024, C_C=7)",
-		Headers: []string{"Test", "63", "127", "255", "511"},
-	}
-	for _, name := range bench.Table1Names() {
-		p, err := bench.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		row := []interface{}{name}
-		for _, eb := range entrySweep() {
-			cfg := core.Config{CharBits: 7, DictSize: 1024, EntryBits: eb}
-			_, r, err := compressLZW(p, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, r)
-		}
-		t.Add(row...)
-	}
-	return t, nil
+	return Table5Ctx(context.Background(), 0)
 }
 
 func entrySweep() []int { return []int{63, 127, 255, 511} }
@@ -231,40 +189,10 @@ func entrySweep() []int { return []int{63, 127, 255, 511} }
 // Table6 reproduces "Performance versus entry size": download improvement
 // at a 10x internal clock across the Table 5 entry sizes, plus the
 // longest uncompressed string each test set generates (the knee of the
-// curve, 483 bits for s13207 in the paper's sizing example).
+// curve, 483 bits for s13207 in the paper's sizing example). The grid
+// runs on the batch pool (see sweep.go).
 func Table6() (*report.Table, error) {
-	t := &report.Table{
-		Title:   "Table 6. Performance versus Entry Size (10x internal clock)",
-		Headers: []string{"Test", "Longest String", "63", "127", "255", "511"},
-	}
-	for _, name := range bench.Table1Names() {
-		p, err := bench.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		// Longest string demand: compress with unbounded entries.
-		unbounded := core.Config{CharBits: 7, DictSize: 1024, EntryBits: 0}
-		stream := p.Generate().SerializeAligned(7)
-		ur, err := core.Compress(stream, unbounded)
-		if err != nil {
-			return nil, err
-		}
-		row := []interface{}{name, ur.Stats.MaxEntryChars * 7}
-		for _, eb := range entrySweep() {
-			cfg := core.Config{CharBits: 7, DictSize: 1024, EntryBits: eb}
-			res, err := core.Compress(stream, cfg)
-			if err != nil {
-				return nil, err
-			}
-			imp, err := downloadImprovement(res, cfg, 10, p.TotalBits())
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, imp)
-		}
-		t.Add(row...)
-	}
-	return t, nil
+	return Table6Ctx(context.Background(), 0)
 }
 
 // Names lists the runnable experiments: the paper's tables and figures

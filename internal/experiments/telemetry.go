@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"lzwtc/internal/report"
 	"lzwtc/internal/telemetry"
 )
@@ -18,8 +20,15 @@ const MetricRows = "lzwtc_experiment_rows_total"
 // produced row is emitted as an EventRow record keyed by the table's
 // column headers. A nil recorder reduces to Run.
 func RunObserved(name string, rec *telemetry.Recorder) (*report.Table, error) {
+	return RunObservedCtx(context.Background(), name, 0, rec)
+}
+
+// RunObservedCtx is RunObserved with context cancellation and a worker
+// bound for the pool-backed sweep tables (workers <= 0 means
+// GOMAXPROCS).
+func RunObservedCtx(ctx context.Context, name string, workers int, rec *telemetry.Recorder) (*report.Table, error) {
 	sp := rec.Span("experiment." + name)
-	t, err := Run(name)
+	t, err := RunCtx(ctx, name, workers)
 	if err != nil {
 		sp.End(telemetry.F("error", err.Error()))
 		return nil, err

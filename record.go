@@ -19,6 +19,17 @@ type RunRecord struct {
 	Config       ConfigRecord        `json:"config"`
 	Compress     CompressRecord      `json:"compress"`
 	Decompressor *DecompressorRecord `json:"decompressor,omitempty"`
+	// Shards is present for sharded compressions: one entry per
+	// pattern-group shard, in order. The Compress section then carries
+	// the aggregate (counts summed, maxima taken across shards).
+	Shards []ShardRecord `json:"shards,omitempty"`
+}
+
+// ShardRecord summarizes one shard of a sharded compression.
+type ShardRecord struct {
+	Patterns       int     `json:"patterns"`
+	CompressedBits int     `json:"compressed_bits"`
+	Ratio          float64 `json:"ratio"`
 }
 
 // ConfigRecord renders the LZW parameters under their paper names.
@@ -108,6 +119,61 @@ func NewRunRecord(r *Result) RunRecord {
 			DynamicFills:   st.DynamicFills,
 		},
 	}
+}
+
+// NewShardedRunRecord builds the record for a sharded compression: the
+// compress section aggregates across shards (counts summed, maxima
+// taken) and Shards carries the per-shard breakdown.
+func NewShardedRunRecord(s *ShardedResult) RunRecord {
+	cfg := s.Cfg
+	rec := RunRecord{
+		Empty:        s.OriginalBits == 0,
+		Patterns:     s.Patterns,
+		Width:        s.Width,
+		OriginalBits: s.OriginalBits,
+		Config: ConfigRecord{
+			CharBits:  cfg.CharBits,
+			DictSize:  cfg.DictSize,
+			CodeBits:  cfg.CodeBits(),
+			EntryBits: cfg.EntryBits,
+			Fill:      cfg.Fill.String(),
+			Tie:       cfg.Tie.String(),
+			Full:      cfg.Full.String(),
+		},
+		Shards: make([]ShardRecord, len(s.Shards)),
+	}
+	c := &rec.Compress
+	for i, sh := range s.Shards {
+		st := sh.Stats
+		c.InputBits += st.InputBits
+		c.Chars += st.Chars
+		c.CodesEmitted += st.CodesEmitted
+		c.CompressedBits += st.CompressedBits
+		c.LiteralCodes += st.LiteralCodes
+		c.StringCodes += st.StringCodes
+		c.DictEntries += st.DictEntries
+		c.DictResets += st.DictResets
+		c.ResidualFills += st.ResidualFills
+		c.DynamicFills += st.DynamicFills
+		if st.MaxMatchChars > c.MaxMatchChars {
+			c.MaxMatchChars = st.MaxMatchChars
+		}
+		if st.MaxEntryChars > c.MaxEntryChars {
+			c.MaxEntryChars = st.MaxEntryChars
+		}
+		shardBits := s.ShardPatterns[i] * s.Width
+		shardRatio := 0.0
+		if shardBits > 0 {
+			shardRatio = 1 - float64(st.CompressedBits)/float64(shardBits)
+		}
+		rec.Shards[i] = ShardRecord{
+			Patterns:       s.ShardPatterns[i],
+			CompressedBits: st.CompressedBits,
+			Ratio:          shardRatio,
+		}
+	}
+	c.Ratio = s.Ratio()
+	return rec
 }
 
 // AttachHistograms copies the compressor's match-length and
