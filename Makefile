@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 
-.PHONY: build vet test race lzwtcvet fuzz telemetry-overhead batch-bench verify
+.PHONY: build vet test race lzwtcvet dict-oracle fuzz telemetry-overhead batch-bench bench-json bench-gate verify
 
 build:
 	$(GO) build ./...
@@ -23,12 +23,20 @@ race:
 lzwtcvet:
 	$(GO) run ./cmd/lzwtcvet ./...
 
+# Differential dictionary oracle: under this build tag every dict keeps
+# the historical map-based matcher as a shadow and cross-checks every
+# findChild, so the whole core test suite doubles as an equivalence
+# proof for the flat child index.
+dict-oracle:
+	$(GO) test -tags=lzwtc_dictoracle ./internal/core ./internal/parallel
+
 # Bounded fuzz smoke: each target gets FUZZTIME of coverage-guided
 # input on top of its checked-in seed corpus.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzBitio -fuzztime=$(FUZZTIME) ./internal/bitio
 	$(GO) test -run='^$$' -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzUnpackCodes -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzFindChildEquivalence -fuzztime=$(FUZZTIME) ./internal/core
 
 # Overhead smoke: the disabled-telemetry and metrics-enabled compression
 # benchmarks must run clean. Raise BENCHTIME (e.g. 5s) for real numbers
@@ -42,4 +50,15 @@ telemetry-overhead:
 batch-bench:
 	$(GO) test -run='^$$' -bench='BenchmarkBatchCompress' -benchtime=$(BENCHTIME) ./internal/parallel
 
-verify: build vet test race lzwtcvet fuzz telemetry-overhead batch-bench
+# Benchmark trajectory: run the single-stream perf grid (compress and
+# decompress ns/char, MB/s, allocs/op across C_C x X-density) and write
+# the committed trajectory point for this PR.
+bench-json:
+	$(GO) run ./cmd/benchgen -bench -benchtime=1s -out BENCH_4.json
+
+# Regression gate: re-run the grid and fail if any case's compress
+# ns/char regresses more than 10% against the committed baseline.
+bench-gate:
+	$(GO) run ./cmd/benchgen -bench -benchtime=1s -check BENCH_4.json -tolerance=0.10
+
+verify: build vet test race lzwtcvet dict-oracle fuzz telemetry-overhead batch-bench

@@ -128,6 +128,10 @@ func printStatsText(rec lzwtc.RunRecord) {
 		c.DictEntries, c.DictResets, c.MaxEntryChars)
 	fmt.Printf("don't-cares:     %d residual fills, %d dynamic fills\n",
 		c.ResidualFills, c.DynamicFills)
+	if c.DictPoolRecycles+c.DictPoolMisses > 0 {
+		fmt.Printf("dict arena:      %d recycled, %d fresh\n",
+			c.DictPoolRecycles, c.DictPoolMisses)
+	}
 	if h := c.MatchLenHist; h != nil {
 		fmt.Printf("match lengths:   ")
 		prev := int64(0)

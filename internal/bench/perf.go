@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"lzwtc/internal/bitvec"
+	"lzwtc/internal/core"
+)
+
+// This file is the single-stream performance harness behind `make
+// bench-json`: a fixed grid of compressor workloads (character size ×
+// don't-care density), measured as ns/char, MB/s and allocs/op for both
+// compression and decompression. The grid is deterministic so reports
+// from different revisions of the code are comparable point by point —
+// the committed BENCH_*.json trajectory is built from exactly these
+// cases, and the CI regression gate diffs a fresh run against it.
+
+// PerfSchema versions the report format; bump it when the JSON shape or
+// the case grid changes incompatibly.
+const PerfSchema = "lzwtc-bench/1"
+
+// DefaultPerfBits is the per-case stream length used by the committed
+// trajectory: long enough to fill a 1024-code dictionary several times
+// over (FullReset churn included), short enough that the whole grid runs
+// in seconds.
+const DefaultPerfBits = 1 << 17
+
+// PerfCase is one point of the benchmark grid.
+type PerfCase struct {
+	Name     string  `json:"name"`
+	CharBits int     `json:"char_bits"`
+	DictSize int     `json:"dict_size"`
+	XDensity float64 `json:"x_density"`
+}
+
+// Config returns the compressor configuration the case is measured
+// under. FullReset keeps the dictionary churning on long streams (the
+// reset path is part of what the harness times) and FillRepeat is the
+// most expensive residual fill, so the numbers are conservative.
+func (c PerfCase) Config() core.Config {
+	return core.Config{
+		CharBits: c.CharBits,
+		DictSize: c.DictSize,
+		Fill:     core.FillRepeat,
+		Tie:      core.TieOldest,
+		Full:     core.FullReset,
+	}
+}
+
+// PerfCases returns the fixed measurement grid: C_C ∈ {2,4,8} crossed
+// with don't-care densities {0%, 50%, 90%}. The 90% column is the
+// paper-realistic regime (Table 3 circuits run 35–93% X) and the hot
+// one: nearly every lookup is X-laden.
+func PerfCases() []PerfCase {
+	var cases []PerfCase
+	for _, cc := range []int{2, 4, 8} {
+		for _, x := range []float64{0, 0.5, 0.9} {
+			cases = append(cases, PerfCase{
+				Name:     fmt.Sprintf("cc%d_x%02d", cc, int(x*100)),
+				CharBits: cc,
+				DictSize: 1024,
+				XDensity: x,
+			})
+		}
+	}
+	return cases
+}
+
+// Stream synthesizes the case's input: a block-structured concrete
+// stream (a small library of repeated 96-bit blocks, the repetition LZW
+// feeds on) punctured to the case's X density. Fully deterministic per
+// case.
+func (c PerfCase) Stream(totalBits int) *bitvec.Vector {
+	rng := rand.New(rand.NewSource(int64(c.CharBits)*1000 + int64(c.XDensity*100)))
+	const nBlocks, blockBits = 24, 96
+	blocks := make([][]bitvec.Bit, nBlocks)
+	for i := range blocks {
+		b := make([]bitvec.Bit, blockBits)
+		for j := range b {
+			if rng.Float64() < 0.3 {
+				b[j] = bitvec.One
+			}
+		}
+		blocks[i] = b
+	}
+	v := bitvec.New(totalBits)
+	pos := 0
+	for pos < totalBits {
+		blk := blocks[rng.Intn(nBlocks)]
+		for _, bit := range blk {
+			if pos >= totalBits {
+				break
+			}
+			if rng.Float64() >= c.XDensity {
+				v.Set(pos, bit)
+			}
+			pos++
+		}
+	}
+	return v
+}
+
+// PerfMeasurement is one direction's measured rates.
+type PerfMeasurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerChar   float64 `json:"ns_per_char"`
+	MBPerSec    float64 `json:"mb_per_s"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// PerfResult is one grid point's measurements.
+type PerfResult struct {
+	Case       PerfCase        `json:"case"`
+	Chars      int             `json:"chars"`
+	InputBits  int             `json:"input_bits"`
+	Ratio      float64         `json:"ratio"`
+	Compress   PerfMeasurement `json:"compress"`
+	Decompress PerfMeasurement `json:"decompress"`
+}
+
+// PerfReport is the whole trajectory point: every grid case measured on
+// one machine at one revision.
+type PerfReport struct {
+	Schema     string       `json:"schema"`
+	GoVersion  string       `json:"go_version"`
+	Generated  string       `json:"generated,omitempty"`
+	StreamBits int          `json:"stream_bits"`
+	Results    []PerfResult `json:"results"`
+}
+
+// RunPerf measures every grid case on streams of totalBits bits,
+// spending at least minDur of timed iterations per direction per case.
+func RunPerf(totalBits int, minDur time.Duration) (*PerfReport, error) {
+	if totalBits <= 0 {
+		totalBits = DefaultPerfBits
+	}
+	rep := &PerfReport{Schema: PerfSchema, GoVersion: runtime.Version(), StreamBits: totalBits}
+	for _, pc := range PerfCases() {
+		r, err := runPerfCase(pc, totalBits, minDur)
+		if err != nil {
+			return nil, fmt.Errorf("bench: case %s: %w", pc.Name, err)
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	return rep, nil
+}
+
+func runPerfCase(pc PerfCase, totalBits int, minDur time.Duration) (PerfResult, error) {
+	cfg := pc.Config()
+	stream := pc.Stream(totalBits)
+	res, err := core.Compress(stream, cfg)
+	if err != nil {
+		return PerfResult{}, err
+	}
+	chars := res.Stats.Chars
+	out := PerfResult{Case: pc, Chars: chars, InputBits: totalBits, Ratio: res.Stats.Ratio()}
+
+	var opErr error
+	comp := measure(minDur, func() {
+		if _, e := core.Compress(stream, cfg); e != nil {
+			opErr = e
+		}
+	})
+	if opErr != nil {
+		return PerfResult{}, opErr
+	}
+	out.Compress = finishMeasurement(comp, chars, totalBits)
+
+	dec := measure(minDur, func() {
+		if _, e := core.Decompress(res.Codes, cfg, res.InputBits); e != nil {
+			opErr = e
+		}
+	})
+	if opErr != nil {
+		return PerfResult{}, opErr
+	}
+	out.Decompress = finishMeasurement(dec, chars, totalBits)
+	return out, nil
+}
+
+// rawMeasure is the pre-normalization output of measure.
+type rawMeasure struct {
+	nsPerOp     float64
+	allocsPerOp float64
+}
+
+// measure times op until at least minDur of work (and at least 3
+// iterations) has accumulated, reporting mean wall time and mean heap
+// allocations per call. One warmup call precedes timing so one-time
+// lazy initialization never lands in the numbers.
+func measure(minDur time.Duration, op func()) rawMeasure {
+	op() // warmup
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < minDur || iters < 3 {
+		op()
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return rawMeasure{
+		nsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		allocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+	}
+}
+
+func finishMeasurement(m rawMeasure, chars, inputBits int) PerfMeasurement {
+	out := PerfMeasurement{NsPerOp: m.nsPerOp, AllocsPerOp: m.allocsPerOp}
+	if chars > 0 {
+		out.NsPerChar = m.nsPerOp / float64(chars)
+	}
+	if m.nsPerOp > 0 {
+		bytes := float64(inputBits) / 8
+		out.MBPerSec = bytes / (m.nsPerOp / 1e9) / 1e6
+	}
+	return out
+}
+
+// ComparePerf diffs a fresh report against a committed baseline: for
+// every baseline case present in the fresh run, compress ns/char must
+// not exceed baseline*(1+tolerance). It returns one line per case
+// (human-readable, benchstat-style old → new) and the list of failures.
+func ComparePerf(baseline, fresh *PerfReport, tolerance float64) (lines []string, failures []string) {
+	freshBy := map[string]PerfResult{}
+	for _, r := range fresh.Results {
+		freshBy[r.Case.Name] = r
+	}
+	for _, b := range baseline.Results {
+		f, ok := freshBy[b.Case.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from fresh run", b.Case.Name))
+			continue
+		}
+		delta := 0.0
+		if b.Compress.NsPerChar > 0 {
+			delta = f.Compress.NsPerChar/b.Compress.NsPerChar - 1
+		}
+		lines = append(lines, fmt.Sprintf("%-9s compress %8.2f → %8.2f ns/char (%+6.1f%%)  decompress %7.2f → %7.2f ns/char",
+			b.Case.Name, b.Compress.NsPerChar, f.Compress.NsPerChar, 100*delta,
+			b.Decompress.NsPerChar, f.Decompress.NsPerChar))
+		if delta > tolerance {
+			failures = append(failures, fmt.Sprintf("%s: compress ns/char regressed %.1f%% (limit %.1f%%)",
+				b.Case.Name, 100*delta, 100*tolerance))
+		}
+	}
+	return lines, failures
+}

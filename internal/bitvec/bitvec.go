@@ -45,6 +45,19 @@ func (b Bit) String() string {
 	}
 }
 
+// Byte returns '0', '1' or 'X' — the single-character rendering without
+// going through a string, for byte-at-a-time formatters.
+func (b Bit) Byte() byte {
+	switch b {
+	case Zero:
+		return '0'
+	case One:
+		return '1'
+	default:
+		return 'X'
+	}
+}
+
 // Vector is a fixed-length three-valued bit vector.
 // The zero value is an empty vector.
 type Vector struct {
@@ -91,8 +104,14 @@ func (v *Vector) Set(i int, b Bit) {
 	}
 }
 
+// check bounds-checks an index. The condition is tested inline and the
+// invariant call sits in the cold branch: invariant.Check's variadic
+// arguments would otherwise box on every Get/Set, which dominates
+// allocation in per-bit loops.
 func (v *Vector) check(i int) {
-	invariant.Check(i >= 0 && i < v.n, "bitvec: index %d out of range [0,%d)", i, v.n)
+	if uint(i) >= uint(v.n) {
+		invariant.Violatef("bitvec: index %d out of range [0,%d)", i, v.n)
+	}
 }
 
 // Chunk extracts n bits (n in [0,64]) starting at stream position pos.
@@ -100,8 +119,12 @@ func (v *Vector) check(i int) {
 // Positions at or beyond Len() read as X (care 0), so a stream may be
 // consumed in fixed-size characters with implicit don't-care padding.
 func (v *Vector) Chunk(pos, n int) (val, care uint64) {
-	invariant.Check(n >= 0 && n <= 64, "bitvec: chunk width %d out of range", n)
-	invariant.Check(pos >= 0, "bitvec: negative chunk position %d", pos)
+	if n < 0 || n > 64 {
+		invariant.Violatef("bitvec: chunk width %d out of range", n)
+	}
+	if pos < 0 {
+		invariant.Violatef("bitvec: negative chunk position %d", pos)
+	}
 	val = v.window(v.val, pos)
 	care = v.window(v.care, pos)
 	if n < 64 {
@@ -131,15 +154,36 @@ func (v *Vector) window(plane []uint64, pos int) uint64 {
 
 // SetChunk assigns n concrete bits starting at position pos: stream bit
 // pos+j becomes bit j of val (0 or 1, always specified). Bits beyond Len()
-// are silently dropped, mirroring Chunk's X padding.
+// are silently dropped, mirroring Chunk's X padding. The write is
+// word-parallel: one masked update per touched plane word.
 func (v *Vector) SetChunk(pos, n int, val uint64) {
-	invariant.Check(n >= 0 && n <= 64, "bitvec: chunk width %d out of range", n)
-	for j := 0; j < n; j++ {
-		i := pos + j
-		if i >= v.n {
-			return
-		}
-		v.Set(i, Bit(val>>uint(j)&1))
+	if n < 0 || n > 64 {
+		invariant.Violatef("bitvec: chunk width %d out of range", n)
+	}
+	if pos < 0 {
+		invariant.Violatef("bitvec: negative chunk position %d", pos)
+	}
+	if pos >= v.n {
+		return
+	}
+	if pos+n > v.n {
+		n = v.n - pos
+	}
+	if n == 0 {
+		return
+	}
+	m := ^uint64(0)
+	if n < 64 {
+		m = uint64(1)<<uint(n) - 1
+	}
+	val &= m
+	w, off := pos/64, uint(pos%64)
+	v.care[w] |= m << off
+	v.val[w] = v.val[w]&^(m<<off) | val<<off
+	if off+uint(n) > 64 {
+		hi := m >> (64 - off)
+		v.care[w+1] |= hi
+		v.val[w+1] = v.val[w+1]&^hi | val>>(64-off)
 	}
 }
 

@@ -373,3 +373,55 @@ func TestDeserializeAligned(t *testing.T) {
 		t.Fatal("bad width accepted")
 	}
 }
+
+func TestBitByte(t *testing.T) {
+	cases := map[Bit]byte{Zero: '0', One: '1', X: 'X'}
+	for b, want := range cases {
+		if got := b.Byte(); got != want {
+			t.Errorf("Bit(%v).Byte() = %q, want %q", b, got, want)
+		}
+		if s := b.String(); s != string(want) {
+			t.Errorf("Bit(%v).String() = %q, want %q", b, s, string(want))
+		}
+	}
+	// Out-of-range values render as X, matching String.
+	if got := Bit(99).Byte(); got != 'X' {
+		t.Errorf("out-of-range Bit.Byte() = %q, want 'X'", got)
+	}
+}
+
+// TestSetChunkMatchesPerBit drives the word-parallel SetChunk against a
+// per-bit Set reference over random positions, widths and word
+// boundaries, including writes clipped by the vector end.
+func TestSetChunkMatchesPerBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(200)
+		got, want := New(n), New(n)
+		// Random starting state so SetChunk also proves it overwrites.
+		for i := 0; i < n; i++ {
+			b := Bit(rng.Intn(3))
+			got.Set(i, b)
+			want.Set(i, b)
+		}
+		for op := 0; op < 8; op++ {
+			pos := rng.Intn(n)
+			w := 1 + rng.Intn(64)
+			val := rng.Uint64()
+			if w < 64 {
+				val &= uint64(1)<<uint(w) - 1
+			}
+			got.SetChunk(pos, w, val)
+			for j := 0; j < w && pos+j < n; j++ {
+				if val>>uint(j)&1 == 1 {
+					want.Set(pos+j, One)
+				} else {
+					want.Set(pos+j, Zero)
+				}
+			}
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: SetChunk diverges from per-bit reference:\n got %s\nwant %s", trial, got, want)
+		}
+	}
+}

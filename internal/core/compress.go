@@ -123,7 +123,7 @@ func CompressObserved(stream *bitvec.Vector, cfg Config, rec *telemetry.Recorder
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return compressInternal(stream, cfg, rec, func() (*dict, error) { return newDict(cfg), nil })
+	return compressInternal(stream, cfg, rec, func() (*dict, error) { return acquireDict(cfg, rec), nil })
 }
 
 // CompressTrace is Compress with a per-step trace callback (used to
@@ -134,7 +134,7 @@ func CompressTrace(stream *bitvec.Vector, cfg Config, trace func(TraceEvent)) (*
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return compressInternal(stream, cfg, traceRecorder(trace), func() (*dict, error) { return newDict(cfg), nil })
+	return compressInternal(stream, cfg, traceRecorder(trace), func() (*dict, error) { return acquireDict(cfg, nil), nil })
 }
 
 // traceRecorder adapts a TraceEvent callback into an events-only
@@ -170,6 +170,7 @@ func compressInternal(stream *bitvec.Vector, cfg Config, rec *telemetry.Recorder
 	if err != nil {
 		return nil, err
 	}
+	defer releaseDict(d)
 	e := &encoder{cfg: cfg, d: d, res: res, stream: stream, rec: rec,
 		m: newCompressMetrics(rec, cfg), tracing: rec.Tracing(), fullMask: fullMask}
 
@@ -212,14 +213,20 @@ func compressInternal(stream *bitvec.Vector, cfg Config, rec *telemetry.Recorder
 				newEntry = &TraceEntry{Code: c, Str: stringBits(d, c, cc)}
 			}
 		}
-		emitted := res.Codes[len(res.Codes)-1]
 		buffer = Code(concrete)
-		e.traceStep(buffer, i*cc, false, &emitted, newEntry)
+		if e.tracing {
+			// Taking the emitted code's address here would make it escape
+			// into traceStep on every iteration; only traced runs pay it.
+			emitted := res.Codes[len(res.Codes)-1]
+			e.traceStep(buffer, i*cc, false, &emitted, newEntry)
+		}
 	}
 	// Figure 3k: the final Buffer completes the compressed output.
 	e.emit(buffer)
-	last := res.Codes[len(res.Codes)-1]
-	e.traceStep(buffer, 0, true, &last, nil)
+	if e.tracing {
+		last := res.Codes[len(res.Codes)-1]
+		e.traceStep(buffer, 0, true, &last, nil)
+	}
 
 	res.Stats.Chars = nChars
 	res.Stats.CodesEmitted = len(res.Codes)
@@ -258,28 +265,36 @@ func (e *encoder) emit(c Code) {
 	}
 }
 
-// fill concretizes a three-valued character per the residual fill policy.
-// Bit j of the character is stream bit pos+j, so ascending j is stream
-// order, which FillRepeat relies on.
+// fill concretizes a three-valued character per the residual fill policy,
+// branch-free over the character's bits. Bit j of the character is stream
+// bit pos+j, so ascending bit order is stream order — what FillRepeat's
+// lastBit chain is defined over: each X bit copies the concretized bit
+// below it, and lastBit always ends as the character's top bit.
+//
+// Chunk guarantees val is 0 wherever care is 0, so FillZero is val
+// itself and FillOne just ORs in the X positions. FillRepeat is a
+// carry-propagation smear: widen by one bit (a virtual cared position -1
+// holding the incoming lastBit), then for each run of X positions above
+// a cared bit, adding the cared bit's value into the run's ones either
+// ripples them to zero (value 1 — re-set them via the OR with vp) or
+// leaves them set (value 0 — cleared by the &^), yielding exactly
+// "repeat the nearest specified bit below".
 func (e *encoder) fill(val, care uint64) uint64 {
-	out := uint64(0)
-	for j := 0; j < e.cfg.CharBits; j++ {
-		var b uint64
-		if care>>uint(j)&1 == 1 {
-			b = val >> uint(j) & 1
-		} else {
-			switch e.cfg.Fill {
-			case FillZero:
-				b = 0
-			case FillOne:
-				b = 1
-			case FillRepeat:
-				b = e.lastBit
-			}
-		}
-		out |= b << uint(j)
-		e.lastBit = b
+	cc := uint(e.cfg.CharBits)
+	var out uint64
+	switch e.cfg.Fill {
+	case FillZero:
+		out = val
+	case FillOne:
+		out = val | (e.fullMask &^ care)
+	default: // FillRepeat
+		wmask := e.fullMask<<1 | 1
+		vp := val<<1 | e.lastBit
+		gaps := ^(care<<1 | 1) & wmask
+		spread := gaps &^ (gaps + vp<<1)
+		out = (vp | spread) >> 1 & e.fullMask
 	}
+	e.lastBit = out >> (cc - 1) & 1
 	return out
 }
 
@@ -339,7 +354,8 @@ func bufferLabel(d *dict, c Code, cc int) string {
 	return fmt.Sprintf("%d", c)
 }
 
-// rawChar renders the three-valued character at stream position pos.
+// rawChar renders the three-valued character at stream position pos,
+// one byte per trit straight from the value — no per-bit string.
 func rawChar(v *bitvec.Vector, pos, cc int) string {
 	b := make([]byte, cc)
 	for j := 0; j < cc; j++ {
@@ -347,7 +363,7 @@ func rawChar(v *bitvec.Vector, pos, cc int) string {
 			b[j] = 'X'
 			continue
 		}
-		b[j] = v.Get(pos + j).String()[0]
+		b[j] = v.Get(pos + j).Byte()
 	}
 	return string(b)
 }

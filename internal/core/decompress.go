@@ -31,7 +31,7 @@ func DecompressTrace(codes []Code, cfg Config, outBits int, trace func(Decompres
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return decompressWithDict(codes, cfg, outBits, trace, func() (*dict, error) { return newDict(cfg), nil })
+	return decompressWithDict(codes, cfg, outBits, trace, func() (*dict, error) { return acquireDict(cfg, nil), nil })
 }
 
 func decompressWithDict(codes []Code, cfg Config, outBits int, trace func(DecompressTraceEvent), mk func() (*dict, error)) (*bitvec.Vector, error) {
@@ -51,6 +51,7 @@ func decompressWithDict(codes []Code, cfg Config, outBits int, trace func(Decomp
 	if err != nil {
 		return nil, err
 	}
+	defer releaseDict(d)
 	pos := 0
 	prev := noCode
 	var scratch []uint64
@@ -90,7 +91,11 @@ func decompressWithDict(codes []Code, cfg Config, outBits int, trace func(Decomp
 		var entry *TraceEntry
 		if pending {
 			nc := d.commitAdd(prev, scratch[0])
-			entry = &TraceEntry{Code: nc, Str: stringBits(d, nc, cc)}
+			if trace != nil {
+				// The rendered entry string exists only for the trace; the
+				// untraced hot path never materializes it.
+				entry = &TraceEntry{Code: nc, Str: stringBits(d, nc, cc)}
+			}
 			if special && nc != c {
 				return nil, fmt.Errorf("core: special-case entry mismatch: created %d, referenced %d", nc, c)
 			}

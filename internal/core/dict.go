@@ -1,10 +1,27 @@
 package core
 
+import (
+	"math/bits"
+
+	"lzwtc/internal/invariant"
+)
+
 // dict is the shared dictionary model used by both the compressor and the
 // software decompressor. Codes below firstCode are literals; string codes
 // record their parent code, last character and length, which is all either
 // direction needs (the compressor walks forward through children, the
 // decompressor materializes strings by walking parents).
+//
+// The child index is flat and allocation-free after construction: a
+// first-child/next-sibling chain over per-code columns plus one open-
+// addressed (parent, char) → child probe table in a single backing
+// slice. A concrete-character lookup is one hash probe; an X-laden
+// lookup either enumerates the ≤2^popcount(X-mask) candidate character
+// values (Gosper-style subset iteration over the don't-care positions,
+// one probe each) or walks the sibling chain with a mask filter,
+// whichever touches fewer entries. Both paths rank candidates by the
+// configured tie-break exactly as the historical per-node map scan did
+// (see refMatcher, the retained reference oracle).
 type dict struct {
 	cfg       Config
 	firstCode Code
@@ -18,53 +35,145 @@ type dict struct {
 	firstChar []uint64
 	length    []int32
 
-	// children[code] maps a concrete character value to the child code
-	// representing string(code)+char. Allocated lazily.
-	children []map[uint64]Code
+	// Flat child index. firstChild[c] heads c's child chain (noCode when
+	// empty), nextSib[c] continues the chain c sits in, childCount[c]
+	// ranks TieWidest. String-code slots are initialized by commitAdd
+	// when their code is assigned, so reset never sweeps them.
+	firstChild []Code
+	nextSib    []Code
+	childCount []int32
+
+	// table is the (parent, char) → child probe table: open addressing,
+	// linear probing, ≤50% load by construction (sized ≥ 2× the maximum
+	// string-entry count). Cleared wholesale on reset.
+	table []childSlot
+	shift uint // 64 - log2(len(table)), for multiply-shift hashing
+
+	// ref is the retained map-based matcher, maintained and cross-checked
+	// against every lookup under the lzwtc_dictoracle build tag (nil
+	// otherwise).
+	ref *refMatcher
+}
+
+// childSlot is one probe-table entry. key 0 marks an empty slot; live
+// keys are childKey values, which are always non-zero.
+type childSlot struct {
+	key   uint64
+	child Code
 }
 
 const noCode = ^Code(0)
 
+// hashMult is the multiply-shift constant (2^64/φ, the usual Fibonacci
+// hashing multiplier).
+const hashMult = 0x9E3779B97F4A7C15
+
+// childKey packs a (parent, char) edge into a non-zero probe-table key.
+// CharBits ≤ 16 bounds char below 2^16; the +1 keeps key 0 reserved for
+// empty slots.
+func childKey(parent Code, char uint64) uint64 {
+	return (uint64(parent)+1)<<16 | char
+}
+
+// tableSizeFor returns the probe-table size for a configuration: a power
+// of two at least twice the maximum number of string entries (every
+// child edge corresponds to one string code), minimum 8.
+func tableSizeFor(cfg Config) int {
+	entries := cfg.DictSize - cfg.Literals()
+	size := 8
+	for size < 2*entries {
+		size *= 2
+	}
+	return size
+}
+
 func newDict(cfg Config) *dict {
 	n := cfg.DictSize
+	ts := tableSizeFor(cfg)
 	d := &dict{
-		cfg:       cfg,
-		firstCode: Code(cfg.Literals()),
-		parent:    make([]Code, n),
-		lastChar:  make([]uint64, n),
-		firstChar: make([]uint64, n),
-		length:    make([]int32, n),
-		children:  make([]map[uint64]Code, n),
+		parent:     make([]Code, n),
+		lastChar:   make([]uint64, n),
+		firstChar:  make([]uint64, n),
+		length:     make([]int32, n),
+		firstChild: make([]Code, n),
+		nextSib:    make([]Code, n),
+		childCount: make([]int32, n),
+		table:      make([]childSlot, ts),
 	}
+	d.reinit(cfg)
+	return d
+}
+
+// fits reports whether d's backing storage can host cfg without
+// reallocation (the arena recycle check).
+func (d *dict) fits(cfg Config) bool {
+	return cap(d.parent) >= cfg.DictSize && len(d.table) >= tableSizeFor(cfg)
+}
+
+// reinit re-derives every view and clears all state for cfg, reusing the
+// existing backing arrays. newDict and the arena both funnel through it,
+// so a recycled dictionary is indistinguishable from a fresh one.
+func (d *dict) reinit(cfg Config) {
+	n := cfg.DictSize
+	d.cfg = cfg
+	d.firstCode = Code(cfg.Literals())
+	d.resets = 0
+	d.parent = d.parent[:cap(d.parent)][:n]
+	d.lastChar = d.lastChar[:cap(d.lastChar)][:n]
+	d.firstChar = d.firstChar[:cap(d.firstChar)][:n]
+	d.length = d.length[:cap(d.length)][:n]
+	d.firstChild = d.firstChild[:cap(d.firstChild)][:n]
+	d.nextSib = d.nextSib[:cap(d.nextSib)][:n]
+	d.childCount = d.childCount[:cap(d.childCount)][:n]
+	d.shift = uint(64 - bits.TrailingZeros(uint(len(d.table))))
+	clearSlots(d.table)
 	for c := 0; c < cfg.Literals(); c++ {
 		d.parent[c] = noCode
 		d.lastChar[c] = uint64(c)
 		d.firstChar[c] = uint64(c)
 		d.length[c] = 1
+		d.firstChild[c] = noCode
+		d.childCount[c] = 0
 	}
 	d.next = d.firstCode
-	return d
+	if dictOracle {
+		d.ref = newRefMatcher(cfg)
+	}
+}
+
+// clearSlots zeroes the probe table (compiled to a memclr).
+func clearSlots(t []childSlot) {
+	for i := range t {
+		t[i] = childSlot{}
+	}
 }
 
 // full reports whether every code has been assigned.
 func (d *dict) full() bool { return int(d.next) >= d.cfg.DictSize }
 
-// reset discards all string entries (FullReset policy).
+// reset discards all string entries (FullReset policy). Only the literal
+// chain heads and the probe table need sweeping: string-code index slots
+// are re-initialized by commitAdd when their code is next assigned.
 func (d *dict) reset() {
-	for c := Code(0); c < d.next; c++ {
-		d.children[c] = nil
+	for c := Code(0); c < d.firstCode; c++ {
+		d.firstChild[c] = noCode
+		d.childCount[c] = 0
 	}
+	clearSlots(d.table)
 	d.next = d.firstCode
 	d.resets++
+	if dictOracle {
+		d.ref.reset()
+	}
 }
 
 // len returns the string length of code c in characters.
 func (d *dict) len(c Code) int { return int(d.length[c]) }
 
 // defined reports whether c currently names a literal or string entry.
-func (d *dict) defined(c Code) bool {
-	return c < d.firstCode || (c >= d.firstCode && c < d.next)
-}
+// Literals occupy [0, firstCode) and string entries [firstCode, next),
+// so the two ranges together are simply [0, next).
+func (d *dict) defined(c Code) bool { return c < d.next }
 
 // add attempts to register string(parent)+char under the next free code.
 // It enforces the C_MDATA bound (no string longer than MaxChars) and the
@@ -117,46 +226,106 @@ func (d *dict) commitAdd(parent Code, char uint64) Code {
 	d.lastChar[c] = char
 	d.firstChar[c] = d.firstChar[parent]
 	d.length[c] = d.length[parent] + 1
-	if d.children[parent] == nil {
-		d.children[parent] = make(map[uint64]Code)
+	d.firstChild[c] = noCode
+	d.childCount[c] = 0
+	d.nextSib[c] = d.firstChild[parent]
+	d.firstChild[parent] = c
+	d.childCount[parent]++
+	d.insertChild(parent, char, c)
+	if dictOracle {
+		d.ref.add(parent, char, c)
 	}
-	d.children[parent][char] = c
 	return c
+}
+
+// insertChild records the (parent, char) → child edge in the probe
+// table. Callers never insert a duplicate edge: the compressor only adds
+// after findChild failed, the decompressor replays the compressor, and
+// preload checks explicitly.
+func (d *dict) insertChild(parent Code, char uint64, child Code) {
+	key := childKey(parent, char)
+	mask := uint64(len(d.table) - 1)
+	i := key * hashMult >> d.shift
+	for d.table[i].key != 0 {
+		i = (i + 1) & mask
+	}
+	d.table[i] = childSlot{key: key, child: child}
+}
+
+// lookupChild resolves a concrete (parent, char) edge: one multiply-shift
+// hash and a short linear probe (load factor is ≤50%).
+func (d *dict) lookupChild(parent Code, char uint64) (Code, bool) {
+	key := childKey(parent, char)
+	mask := uint64(len(d.table) - 1)
+	i := key * hashMult >> d.shift
+	for {
+		s := d.table[i]
+		if s.key == key {
+			return s.child, true
+		}
+		if s.key == 0 {
+			return noCode, false
+		}
+		i = (i + 1) & mask
+	}
 }
 
 // findChild looks for a child of code whose character is compatible with
 // the three-valued character (val, care): child & care == val. When the
-// character is fully specified this is a map lookup; otherwise candidates
-// are ranked by the configured tie-break. The second result reports
-// whether a child was found.
-func (d *dict) findChild(code Code, val, care uint64, fullMask uint64) (Code, bool) {
-	kids := d.children[code]
-	if len(kids) == 0 {
+// character is fully specified this is one probe; otherwise the
+// candidate set is ranked by the configured tie-break. The second result
+// reports whether a child was found.
+func (d *dict) findChild(code Code, val, care, fullMask uint64) (Code, bool) {
+	var c Code
+	var ok bool
+	if care == fullMask {
+		c, ok = d.lookupChild(code, val)
+	} else {
+		c, ok = d.findChildMasked(code, val, care, fullMask)
+	}
+	if dictOracle {
+		// The not-found code value is unspecified (the reference returns
+		// the map zero value, the flat matcher noCode); only the found
+		// flag, and the code when found, are part of the contract.
+		rc, rok := d.ref.findChild(code, val, care, fullMask)
+		invariant.Check(rok == ok && (!ok || rc == c),
+			"core: flat matcher diverges from reference at code %d (val=%#x care=%#x): flat=(%d,%v) ref=(%d,%v)",
+			code, val, care, c, ok, rc, rok)
+	}
+	return c, ok
+}
+
+// findChildMasked resolves an X-laden lookup. The compatible character
+// values are exactly val | (subset of the X mask), so when that subset
+// space is smaller than code's child list the matcher enumerates it —
+// Gosper-style iteration, one probe per candidate — and otherwise walks
+// the sibling chain with a mask filter. Either way every compatible
+// child is considered, so the tie-break result is identical to the
+// historical scan over all children.
+func (d *dict) findChildMasked(code Code, val, care, fullMask uint64) (Code, bool) {
+	nc := int(d.childCount[code])
+	if nc == 0 || val&^care != 0 {
+		// No children, or val carries bits outside its care mask (no
+		// character can satisfy char&care == val).
 		return noCode, false
 	}
-	if care == fullMask {
-		c, ok := kids[val]
-		return c, ok
-	}
+	xmask := fullMask &^ care
+	k := bits.OnesCount64(xmask)
 	best := noCode
-	bestWidth := -1
-	for char, child := range kids {
-		if char&care != val {
-			continue
+	bestWidth := int32(-1)
+	if k < 16 && 1<<uint(k) < nc {
+		for sub := uint64(0); ; sub = (sub - xmask) & xmask {
+			if child, ok := d.lookupChild(code, val|sub); ok {
+				best, bestWidth = d.rank(child, best, bestWidth)
+			}
+			if sub == xmask {
+				break
+			}
 		}
-		switch d.cfg.Tie {
-		case TieOldest:
-			if best == noCode || child < best {
-				best = child
-			}
-		case TieNewest:
-			if best == noCode || child > best {
-				best = child
-			}
-		case TieWidest:
-			w := len(d.children[child])
-			if w > bestWidth || (w == bestWidth && (best == noCode || child < best)) {
-				best, bestWidth = child, w
+	} else {
+		for child := d.firstChild[code]; child != noCode; child = d.nextSib[child] {
+			if d.lastChar[child]&care == val {
+				best, bestWidth = d.rank(child, best, bestWidth)
 			}
 		}
 	}
@@ -166,19 +335,49 @@ func (d *dict) findChild(code Code, val, care uint64, fullMask uint64) (Code, bo
 	return best, true
 }
 
+// rank folds one compatible child into the running tie-break winner,
+// reproducing the historical semantics: TieOldest keeps the lowest code,
+// TieNewest the highest, TieWidest the child with the most children
+// (ties to the lowest code).
+func (d *dict) rank(child, best Code, bestWidth int32) (Code, int32) {
+	switch d.cfg.Tie {
+	case TieOldest:
+		if best == noCode || child < best {
+			return child, bestWidth
+		}
+	case TieNewest:
+		if best == noCode || child > best {
+			return child, bestWidth
+		}
+	case TieWidest:
+		w := d.childCount[child]
+		if w > bestWidth || (w == bestWidth && (best == noCode || child < best)) {
+			return child, w
+		}
+	}
+	return best, bestWidth
+}
+
 // stringOf materializes the uncompressed characters of code c, oldest
 // character first. It appends into dst and returns the extended slice.
+// The entry length is known up front, so characters are written directly
+// into their final positions (no reversal pass) and a reused dst slice
+// makes the walk allocation-free.
 func (d *dict) stringOf(c Code, dst []uint64) []uint64 {
+	n := int(d.length[c])
 	start := len(dst)
-	for cur := c; ; cur = d.parent[cur] {
-		dst = append(dst, d.lastChar[cur])
+	if tot := start + n; cap(dst) >= tot {
+		dst = dst[:tot]
+	} else {
+		grown := make([]uint64, tot, 2*tot)
+		copy(grown, dst)
+		dst = grown
+	}
+	for cur, i := c, start+n-1; ; cur, i = d.parent[cur], i-1 {
+		dst[i] = d.lastChar[cur]
 		if d.parent[cur] == noCode {
 			break
 		}
-	}
-	// Reverse the appended tail: parents were walked newest-first.
-	for i, j := start, len(dst)-1; i < j; i, j = i+1, j-1 {
-		dst[i], dst[j] = dst[j], dst[i]
 	}
 	return dst
 }

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDefinedBoundaries pins down defined's ranges: literals are always
+// defined, string codes only once assigned, and everything from next up
+// is undefined.
+func TestDefinedBoundaries(t *testing.T) {
+	cfg := Config{CharBits: 2, DictSize: 8, Fill: FillRepeat, Tie: TieOldest, Full: FullFreeze}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := newDict(cfg)
+
+	// Fresh dictionary: exactly the literals [0, 4) are defined.
+	for c := Code(0); c < 4; c++ {
+		if !d.defined(c) {
+			t.Errorf("literal %d undefined in fresh dictionary", c)
+		}
+	}
+	for c := Code(4); c < 10; c++ {
+		if d.defined(c) {
+			t.Errorf("code %d defined in fresh dictionary", c)
+		}
+	}
+
+	// One string entry: code 4 becomes defined, 5 stays undefined.
+	c, ok := d.add(1, 0)
+	if !ok || c != 4 {
+		t.Fatalf("add = (%d, %v), want (4, true)", c, ok)
+	}
+	if !d.defined(4) {
+		t.Error("string code 4 undefined after add")
+	}
+	if d.defined(5) {
+		t.Error("code 5 defined with only one string entry")
+	}
+
+	// Degenerate DictSize == 2^CharBits: every code is a literal, the
+	// dictionary is born full, and no add can ever succeed.
+	edge := Config{CharBits: 2, DictSize: 4, Fill: FillRepeat, Tie: TieOldest, Full: FullReset}
+	if err := edge.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	de := newDict(edge)
+	if !de.full() {
+		t.Error("2^CharBits dictionary not full at birth")
+	}
+	if _, ok := de.add(0, 1); ok {
+		t.Error("add succeeded in a literals-only dictionary")
+	}
+	if de.resets != 0 {
+		t.Errorf("literals-only dictionary reset %d times; it is permanently frozen", de.resets)
+	}
+	for c := Code(0); c < 4; c++ {
+		if !de.defined(c) {
+			t.Errorf("literal %d undefined in literals-only dictionary", c)
+		}
+	}
+	if de.defined(4) {
+		t.Error("code 4 defined in literals-only dictionary")
+	}
+}
+
+// refFill is the per-bit residual fill the branch-free encoder.fill
+// replaced: walk the character's bits in stream order and substitute
+// every X per policy, threading lastBit through FillRepeat.
+func refFill(val, care uint64, cc int, policy FillPolicy, lastBit uint64) (out, last uint64) {
+	last = lastBit
+	for j := 0; j < cc; j++ {
+		b := val >> uint(j) & 1
+		if care>>uint(j)&1 == 0 {
+			switch policy {
+			case FillZero:
+				b = 0
+			case FillOne:
+				b = 1
+			default:
+				b = last
+			}
+		}
+		out |= b << uint(j)
+		last = b
+	}
+	return out, out >> uint(cc-1) & 1
+}
+
+// TestFillMatchesPerBitReference drives the branch-free fill against the
+// per-bit reference over every CharBits, policy and incoming lastBit,
+// with exhaustive (val, care) coverage for narrow characters and random
+// coverage for wide ones.
+func TestFillMatchesPerBitReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	check := func(cc int, policy FillPolicy, lastBit, val, care uint64) {
+		t.Helper()
+		mask := uint64(1)<<uint(cc) - 1
+		cfg := Config{CharBits: cc, DictSize: 1 << uint(cc), Fill: policy, Tie: TieOldest, Full: FullFreeze}
+		e := &encoder{cfg: cfg, fullMask: mask, lastBit: lastBit}
+		got := e.fill(val, care)
+		want, wantLast := refFill(val, care, cc, policy, lastBit)
+		if got != want || e.lastBit != wantLast {
+			t.Fatalf("cc=%d %v lastBit=%d val=%0*b care=%0*b: fill=(%0*b, last %d), want (%0*b, last %d)",
+				cc, policy, lastBit, cc, val, cc, care, cc, got, e.lastBit, cc, want, wantLast)
+		}
+	}
+	for _, policy := range []FillPolicy{FillZero, FillOne, FillRepeat} {
+		for lastBit := uint64(0); lastBit <= 1; lastBit++ {
+			// Exhaustive for cc <= 6: every care mask times every val
+			// within it (fill's contract: val is 0 where care is 0).
+			for cc := 1; cc <= 6; cc++ {
+				mask := uint64(1)<<uint(cc) - 1
+				for care := uint64(0); care <= mask; care++ {
+					for val := uint64(0); val <= mask; val++ {
+						if val&^care != 0 {
+							continue
+						}
+						check(cc, policy, lastBit, val, care)
+					}
+				}
+			}
+			// Random for the full CharBits range, X-heavy and X-light.
+			for cc := 7; cc <= 16; cc++ {
+				mask := uint64(1)<<uint(cc) - 1
+				for trial := 0; trial < 200; trial++ {
+					care := rng.Uint64() & mask
+					if trial%2 == 0 {
+						care &= rng.Uint64() // bias toward more X positions
+					}
+					check(cc, policy, lastBit, rng.Uint64()&care, care)
+				}
+			}
+		}
+	}
+}
+
+// FuzzFindChildEquivalence grows a dictionary from fuzzer-chosen adds and
+// replays fuzzer-chosen (val, care) queries through both the flat matcher
+// and the retained map-based reference, under all three tie-break
+// policies. The reference shadow mirrors every add and every FullReset.
+func FuzzFindChildEquivalence(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 0, 0, 0}, []byte{0, 1, 2, 1, 0, 3, 0xff, 0x00})
+	f.Add([]byte{2, 8, 0, 0, 1, 0}, []byte{0, 5, 1, 1, 9, 0, 1, 3, 0x05, 0x0a})
+	f.Add([]byte{3, 0, 0, 0, 2, 1}, []byte{0, 1, 7, 0, 2, 6, 1, 0, 0xf0, 0xff})
+	f.Add([]byte{1, 0, 0, 0, 0, 1}, []byte{})     // DictSize == 2^CharBits, FullReset
+	f.Add([]byte{0, 0, 0, 0, 0, 0}, []byte{1, 1}) // DictSize == 2^CharBits, FullFreeze
+
+	f.Fuzz(func(t *testing.T, seed, ops []byte) {
+		if len(seed) < 6 {
+			return
+		}
+		// fuzzConfig covers CharBits 1..4 and dictionary sizes down to the
+		// literals-only edge; widen CharBits to 8 for longer X masks.
+		cfg := fuzzConfig(seed)
+		cfg.CharBits = int(seed[0]%8) + 1
+		cfg.DictSize = 1<<uint(cfg.CharBits) + int(seed[1])
+		cfg.EntryBits = 0
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("derived config invalid: %v", err)
+		}
+		d := newDict(cfg)
+		ref := newRefMatcher(cfg)
+		fullMask := uint64(1)<<uint(cfg.CharBits) - 1
+
+		for i := 0; i+3 < len(ops); i += 4 {
+			b := ops[i : i+4]
+			if b[0]%3 == 0 {
+				// Add string(parent)+char; mirror resets and the add into
+				// the reference in the same order the dictionary applies
+				// them (a FullReset fires before the entry is created).
+				parent := Code(uint64(b[1]) % uint64(d.next))
+				char := uint64(b[2]) % uint64(cfg.Literals())
+				if _, dup := d.lookupChild(parent, char); dup {
+					continue
+				}
+				resets := d.resets
+				c, ok := d.add(parent, char)
+				if d.resets > resets {
+					ref.reset()
+				}
+				if ok {
+					ref.add(parent, char, c)
+				}
+				continue
+			}
+			// Query under every tie policy: construction is policy-
+			// independent, so one dictionary serves all three.
+			code := Code(uint64(b[1]) % uint64(d.next))
+			val := uint64(b[2]) & fullMask
+			care := uint64(b[3]) & fullMask
+			for _, tie := range []TieBreak{TieOldest, TieNewest, TieWidest} {
+				d.cfg.Tie = tie
+				ref.cfg.Tie = tie
+				if d.ref != nil {
+					d.ref.cfg.Tie = tie // keep the build-tag oracle coherent
+				}
+				got, gok := d.findChild(code, val, care, fullMask)
+				want, wok := ref.findChild(code, val, care, fullMask)
+				if gok != wok || (gok && got != want) {
+					t.Fatalf("tie=%v code=%d val=%#x care=%#x: flat=(%d,%v) ref=(%d,%v)",
+						tie, code, val, care, got, gok, want, wok)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,7 @@
+//go:build !lzwtc_dictoracle
+
+package core
+
+// dictOracle is off in normal builds: the flat matcher runs alone and
+// the refMatcher shadow is never allocated. See dict_oracle_on.go.
+const dictOracle = false

@@ -1,0 +1,10 @@
+//go:build lzwtc_dictoracle
+
+package core
+
+// dictOracle enables the differential oracle build: every dict maintains
+// a shadow refMatcher (the historical map-based child index) and
+// findChild panics through the invariant chokepoint if the flat matcher
+// ever disagrees with it. `make dict-oracle` runs the core test suite —
+// conformance corpus included — in this mode.
+const dictOracle = true

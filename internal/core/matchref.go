@@ -1,0 +1,71 @@
+package core
+
+// refMatcher is the historical per-node map child index, retained
+// verbatim as a differential oracle for the flat matcher in dict.go. It
+// is exercised two ways: FuzzFindChildEquivalence drives both matchers
+// over random dictionaries and queries, and under the lzwtc_dictoracle
+// build tag every dict maintains a refMatcher shadow and cross-checks
+// every findChild in production code paths (see dict_oracle_on.go).
+type refMatcher struct {
+	cfg      Config
+	children []map[uint64]Code
+}
+
+func newRefMatcher(cfg Config) *refMatcher {
+	return &refMatcher{cfg: cfg, children: make([]map[uint64]Code, cfg.DictSize)}
+}
+
+// add mirrors commitAdd: register child as string(parent)+char.
+func (m *refMatcher) add(parent Code, char uint64, child Code) {
+	if m.children[parent] == nil {
+		m.children[parent] = make(map[uint64]Code)
+	}
+	m.children[parent][char] = child
+}
+
+// reset mirrors dict.reset: discard every child edge.
+func (m *refMatcher) reset() {
+	for c := range m.children {
+		m.children[c] = nil
+	}
+}
+
+// findChild is the pre-flat-index matcher, byte for byte: a map lookup
+// for concrete characters, a full scan over every child with tie-break
+// ranking for X-laden ones.
+func (m *refMatcher) findChild(code Code, val, care, fullMask uint64) (Code, bool) {
+	kids := m.children[code]
+	if len(kids) == 0 {
+		return noCode, false
+	}
+	if care == fullMask {
+		c, ok := kids[val]
+		return c, ok
+	}
+	best := noCode
+	bestWidth := -1
+	for char, child := range kids {
+		if char&care != val {
+			continue
+		}
+		switch m.cfg.Tie {
+		case TieOldest:
+			if best == noCode || child < best {
+				best = child
+			}
+		case TieNewest:
+			if best == noCode || child > best {
+				best = child
+			}
+		case TieWidest:
+			w := len(m.children[child])
+			if w > bestWidth || (w == bestWidth && (best == noCode || child < best)) {
+				best, bestWidth = child, w
+			}
+		}
+	}
+	if best == noCode {
+		return noCode, false
+	}
+	return best, true
+}

@@ -45,20 +45,25 @@ func (d *dict) preload(p *Preload) error {
 		if d.full() {
 			return fmt.Errorf("core: preload overflows the dictionary at string %d", i)
 		}
+		// Every character must be a valid C_C-bit value: the flat child
+		// index packs characters into 16-bit key fields, and an
+		// out-of-range character could never decompress anyway.
+		for k, ch := range s {
+			if ch >= uint64(d.cfg.Literals()) {
+				return fmt.Errorf("core: preload string %d has invalid character %d at position %d", i, ch, k)
+			}
+		}
 		// Walk the prefix; it must already exist.
 		cur := Code(s[0])
-		if int(s[0]) >= d.cfg.Literals() {
-			return fmt.Errorf("core: preload string %d starts with invalid character %d", i, s[0])
-		}
 		for k := 1; k < len(s)-1; k++ {
-			child, ok := d.children[cur][s[k]]
+			child, ok := d.lookupChild(cur, s[k])
 			if !ok {
 				return fmt.Errorf("core: preload string %d is not prefix-closed at char %d", i, k)
 			}
 			cur = child
 		}
 		last := s[len(s)-1]
-		if _, dup := d.children[cur][last]; dup {
+		if _, dup := d.lookupChild(cur, last); dup {
 			return fmt.Errorf("core: preload string %d duplicates an entry", i)
 		}
 		d.commitAdd(cur, last)
@@ -141,8 +146,9 @@ func CompressWithPreload(stream *bitvec.Vector, cfg Config, pre *Preload) (*Resu
 	// Compress via the normal path but with a preloaded dictionary: the
 	// implementation mirrors CompressTrace with a custom dict factory.
 	return compressWithDict(stream, cfg, func() (*dict, error) {
-		d := newDict(cfg)
+		d := acquireDict(cfg, nil)
 		if err := d.preload(pre); err != nil {
+			releaseDict(d)
 			return nil, err
 		}
 		return d, nil
@@ -161,8 +167,9 @@ func DecompressWithPreload(codes []Code, cfg Config, pre *Preload, outBits int) 
 		return nil, fmt.Errorf("core: FullReset would discard the preloaded dictionary inconsistently")
 	}
 	return decompressWithDict(codes, cfg, outBits, nil, func() (*dict, error) {
-		d := newDict(cfg)
+		d := acquireDict(cfg, nil)
 		if err := d.preload(pre); err != nil {
+			releaseDict(d)
 			return nil, err
 		}
 		return d, nil

@@ -33,6 +33,14 @@ const (
 	MetricCompressRatio         = "lzwtc_compress_ratio"
 )
 
+// Dictionary arena metrics: how often a run reused a pooled dictionary
+// versus allocating fresh (see arena.go). High recycle-to-miss ratios
+// mean the batch/shard pipelines are running allocation-free.
+const (
+	MetricDictPoolRecycles = "lzwtc_dict_pool_recycles_total"
+	MetricDictPoolMisses   = "lzwtc_dict_pool_misses_total"
+)
+
 // MatchLenBuckets returns the histogram bounds for emitted-string
 // lengths, in characters. The paper's C_MDATA sweep (Table 5) spans
 // 9–73 characters per entry at C_C=7, so the tail buckets cover it.

@@ -328,3 +328,45 @@ func TestParsePolicy(t *testing.T) {
 		t.Fatal("ParsePolicy accepted garbage")
 	}
 }
+
+// TestBatchRecyclesDictArena pins the arena contract for the pool: every
+// job acquires exactly one dictionary (recycles + misses == jobs), and a
+// batch with more jobs than workers reuses dictionaries released by
+// earlier jobs rather than allocating fresh ones throughout.
+func TestBatchRecyclesDictArena(t *testing.T) {
+	// Many copies of the same moderate config so released dictionaries
+	// always fit the next acquisition.
+	set := testSet(9, 12, 48, 0.7)
+	cfg := core.Config{CharBits: 4, DictSize: 128, EntryBits: 20}
+	var jobs []Job
+	for i := 0; i < 48; i++ {
+		jobs = append(jobs, Job{Name: fmt.Sprintf("job%d", i), Set: set, Cfg: cfg})
+	}
+
+	reg := telemetry.NewRegistry()
+	opts := Options{Workers: 2, Recorder: telemetry.New(reg)}
+	if _, err := CompressJobs(context.Background(), jobs, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	var recycles, misses int64
+	for _, c := range reg.Snapshot().Counters {
+		switch c.Name {
+		case core.MetricDictPoolRecycles:
+			recycles = c.Value
+		case core.MetricDictPoolMisses:
+			misses = c.Value
+		}
+	}
+	if recycles+misses != int64(len(jobs)) {
+		t.Fatalf("recycles(%d) + misses(%d) = %d, want one acquisition per job (%d)",
+			recycles, misses, recycles+misses, len(jobs))
+	}
+	// 48 jobs over 2 workers: at most a handful of dictionaries can be
+	// live at once, so the vast majority of acquisitions must recycle.
+	// (sync.Pool may shed entries under GC pressure, hence > 0 rather
+	// than an exact count.)
+	if recycles == 0 {
+		t.Fatalf("no dictionary recycled across %d same-config jobs (misses=%d)", len(jobs), misses)
+	}
+}

@@ -62,6 +62,12 @@ type CompressRecord struct {
 	DynamicFills   int                          `json:"dynamic_fills"`
 	MatchLenHist   *telemetry.HistogramSnapshot `json:"match_len_hist,omitempty"`
 	OccupancyHist  *telemetry.HistogramSnapshot `json:"dict_occupancy_hist,omitempty"`
+
+	// Dictionary-arena effectiveness: how many dictionaries this run
+	// recycled from the pool versus allocated fresh. Only populated from
+	// a registry snapshot (AttachHistograms); zero values are omitted.
+	DictPoolRecycles int64 `json:"dict_pool_recycles,omitempty"`
+	DictPoolMisses   int64 `json:"dict_pool_misses,omitempty"`
 }
 
 // DecompressorRecord renders one cycle-accurate download simulation.
@@ -177,8 +183,9 @@ func NewShardedRunRecord(s *ShardedResult) RunRecord {
 }
 
 // AttachHistograms copies the compressor's match-length and
-// dictionary-occupancy histograms out of a registry snapshot into the
-// record (no-ops for metrics the snapshot lacks).
+// dictionary-occupancy histograms — and the dictionary-arena counters —
+// out of a registry snapshot into the record (no-ops for metrics the
+// snapshot lacks).
 func (r *RunRecord) AttachHistograms(snap telemetry.Snapshot) {
 	for i := range snap.Histograms {
 		h := snap.Histograms[i]
@@ -187,6 +194,14 @@ func (r *RunRecord) AttachHistograms(snap telemetry.Snapshot) {
 			r.Compress.MatchLenHist = &h
 		case core.MetricCompressOccupancy:
 			r.Compress.OccupancyHist = &h
+		}
+	}
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case core.MetricDictPoolRecycles:
+			r.Compress.DictPoolRecycles = c.Value
+		case core.MetricDictPoolMisses:
+			r.Compress.DictPoolMisses = c.Value
 		}
 	}
 }
