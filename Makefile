@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 
-.PHONY: build vet test race lzwtcvet dict-oracle fuzz telemetry-overhead batch-bench bench-json bench-gate verify
+.PHONY: build vet test race lzwtcvet dict-oracle fuzz telemetry-overhead batch-bench bench-json bench-gate cover lzwtcd-smoke verify
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,8 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzUnpackCodes -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzFindChildEquivalence -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzWireDecode -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -run='^$$' -fuzz=FuzzWireRoundTrip -fuzztime=$(FUZZTIME) ./internal/wire
 
 # Overhead smoke: the disabled-telemetry and metrics-enabled compression
 # benchmarks must run clean. Raise BENCHTIME (e.g. 5s) for real numbers
@@ -50,6 +52,17 @@ telemetry-overhead:
 batch-bench:
 	$(GO) test -run='^$$' -bench='BenchmarkBatchCompress' -benchtime=$(BENCHTIME) ./internal/parallel
 
+# Coverage gate: total statement coverage must stay at or above the
+# floor in scripts/check_coverage.sh (raise it as coverage grows).
+cover:
+	sh scripts/check_coverage.sh
+
+# Service smoke: start lzwtcd on an ephemeral port, round-trip a
+# conformance case through `lzwtc remote`, and require a clean graceful
+# drain on SIGTERM.
+lzwtcd-smoke:
+	sh scripts/smoke_lzwtcd.sh
+
 # Benchmark trajectory: run the single-stream perf grid (compress and
 # decompress ns/char, MB/s, allocs/op across C_C x X-density) and write
 # the committed trajectory point for this PR.
@@ -61,4 +74,4 @@ bench-json:
 bench-gate:
 	$(GO) run ./cmd/benchgen -bench -benchtime=1s -check BENCH_4.json -tolerance=0.10
 
-verify: build vet test race lzwtcvet dict-oracle fuzz telemetry-overhead batch-bench
+verify: build vet test race lzwtcvet dict-oracle fuzz telemetry-overhead batch-bench cover lzwtcd-smoke

@@ -1,0 +1,244 @@
+// Package client is the Go client for the lzwtcd compression service:
+// context-aware wrappers over the /v1 HTTP API with bounded
+// retry/backoff for transient failures.
+//
+// Requests are replayable by construction (bodies are buffered before
+// the first attempt), so the client retries connection errors and
+// gateway-class statuses (502/503/504) with exponential backoff,
+// honoring the context between attempts. Application errors (4xx) are
+// never retried; their structured error body surfaces as an *APIError.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"lzwtc"
+	"lzwtc/internal/server"
+)
+
+// Options tunes a Client. The zero value is usable.
+type Options struct {
+	// HTTPClient is the transport; nil means http.DefaultClient.
+	HTTPClient *http.Client
+	// Retries is the number of re-attempts after the first try on a
+	// retryable failure; negative means 0. Default 2.
+	Retries int
+	// Backoff is the first retry delay, doubling per attempt; <= 0
+	// means 100ms.
+	Backoff time.Duration
+	// MaxBackoff caps the delay growth; <= 0 means 2s.
+	MaxBackoff time.Duration
+}
+
+// Client talks to one lzwtcd instance.
+type Client struct {
+	base string
+	http *http.Client
+	opts Options
+}
+
+// New builds a client for the service at baseURL (e.g.
+// "http://127.0.0.1:8077").
+func New(baseURL string, opts Options) *Client {
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = http.DefaultClient
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 100 * time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 2 * time.Second
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: opts.HTTPClient, opts: opts}
+}
+
+// NewWithRetries is New with an explicit retry count (a convenience for
+// callers configuring nothing else).
+func NewWithRetries(baseURL string, retries int) *Client {
+	return New(baseURL, Options{Retries: retries})
+}
+
+// APIError is a non-2xx response carrying the service's structured
+// error envelope.
+type APIError struct {
+	Status  int    // HTTP status code
+	Code    string // stable machine-readable code ("bad_request", ...)
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("lzwtcd: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// retryable reports whether a response status is worth re-attempting.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// do runs one replayable request with retry/backoff. body is the full
+// request body; it is re-sent from the start on every attempt.
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, contentType string, body []byte) (*http.Response, error) {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	delay := c.opts.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(delay):
+			}
+			delay *= 2
+			if delay > c.opts.MaxBackoff {
+				delay = c.opts.MaxBackoff
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, method, u, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+			continue // connection-level failure: retry
+		}
+		if retryable(resp.StatusCode) && attempt < c.opts.Retries {
+			lastErr = decodeAPIError(resp)
+			continue
+		}
+		if resp.StatusCode/100 != 2 {
+			return nil, decodeAPIError(resp)
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("lzwtcd: request failed after %d attempts: %w", c.opts.Retries+1, lastErr)
+}
+
+// decodeAPIError drains a non-2xx response into an *APIError.
+func decodeAPIError(resp *http.Response) error {
+	defer resp.Body.Close() //nolint:errcheck // error body already read
+	var envelope server.ErrorBody
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16)) //nolint:errcheck // partial body still renders
+	if err := json.Unmarshal(data, &envelope); err != nil || envelope.Error.Code == "" {
+		return &APIError{Status: resp.StatusCode, Code: "unknown", Message: strings.TrimSpace(string(data))}
+	}
+	return &APIError{Status: resp.StatusCode, Code: envelope.Error.Code, Message: envelope.Error.Message}
+}
+
+// CompressOptions tunes one remote compression.
+type CompressOptions struct {
+	// ShardPatterns > 0 asks the service for a sharded compression of
+	// at most this many patterns per frame.
+	ShardPatterns int
+}
+
+// Compress sends a test set for remote compression and returns the
+// wire-format container bytes.
+func (c *Client) Compress(ctx context.Context, ts *lzwtc.TestSet, cfg lzwtc.Config, opts CompressOptions) ([]byte, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var body bytes.Buffer
+	if err := ts.WriteCubes(&body); err != nil {
+		return nil, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, server.PathCompress,
+		server.EncodeCompressQuery(cfg, opts.ShardPatterns), "text/plain; charset=utf-8", body.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() //nolint:errcheck // fully drained below
+	return io.ReadAll(resp.Body)
+}
+
+// CompressResult is Compress followed by a local decode into a Result.
+// Only valid for unsharded compressions (a sharded container holds
+// multiple frames); sharded callers keep the raw container.
+func (c *Client) CompressResult(ctx context.Context, ts *lzwtc.TestSet, cfg lzwtc.Config) (*lzwtc.Result, error) {
+	data, err := c.Compress(ctx, ts, cfg, CompressOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return lzwtc.DecodeWireResult(data)
+}
+
+// Decompress sends a wire container for remote decompression and
+// returns the fully specified test set.
+func (c *Client) Decompress(ctx context.Context, container []byte) (*lzwtc.TestSet, error) {
+	resp, err := c.do(ctx, http.MethodPost, server.PathDecompress, nil, "application/octet-stream", container)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() //nolint:errcheck // fully drained below
+	return lzwtc.ReadTestSet(resp.Body)
+}
+
+// Stats fetches the service counter document.
+func (c *Client) Stats(ctx context.Context) (*server.StatsResponse, error) {
+	resp, err := c.do(ctx, http.MethodGet, server.PathStats, nil, "", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() //nolint:errcheck // fully drained below
+	var stats server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return nil, fmt.Errorf("lzwtcd: decoding stats: %w", err)
+	}
+	return &stats, nil
+}
+
+// Metrics fetches the raw Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	resp, err := c.do(ctx, http.MethodGet, server.PathMetrics, nil, "", nil)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close() //nolint:errcheck // fully drained below
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+// Health probes /healthz; nil means the service answered ok.
+func (c *Client) Health(ctx context.Context) error {
+	resp, err := c.do(ctx, http.MethodGet, server.PathHealth, nil, "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() //nolint:errcheck // fully drained below
+	var status struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		return fmt.Errorf("lzwtcd: decoding health: %w", err)
+	}
+	if status.Status != "ok" {
+		return errors.New("lzwtcd: health status " + status.Status)
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -62,18 +63,18 @@ func TestBatchSubcommandEndToEnd(t *testing.T) {
 		t.Fatalf("aggregate = %+v", agg)
 	}
 
-	// Each job got a container and a run record; the container
-	// round-trips against its source cubes.
+	// Each job got a wire-format container and a run record; the
+	// container round-trips against its source cubes with no
+	// out-of-band Config.
 	for _, name := range []string{"a", "b"} {
 		raw, err := os.ReadFile(filepath.Join(outDir, name+".lzw"))
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := lzwtc.DecodeResult(raw)
-		if err != nil {
-			t.Fatalf("%s.lzw: %v", name, err)
+		if !lzwtc.IsWireContainer(raw) {
+			t.Fatalf("%s.lzw is not a wire container", name)
 		}
-		filled, err := lzwtc.Decompress(res)
+		filled, err := lzwtc.DecompressWire(bytes.NewReader(raw))
 		if err != nil {
 			t.Fatalf("%s.lzw decompress: %v", name, err)
 		}
@@ -115,8 +116,32 @@ func TestBatchSubcommandSharded(t *testing.T) {
 	if len(rec.Shards) != 3 {
 		t.Fatalf("b.json has %d shards, want 3", len(rec.Shards))
 	}
+	// The default layout is one wire container with one frame per
+	// shard, streaming-decompressible as a whole.
+	raw, err := os.ReadFile(filepath.Join(outDir, "b.lzw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := lzwtc.DecompressWire(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("b.lzw decompress: %v", err)
+	}
+	if len(ts.Cubes) != 8 {
+		t.Fatalf("sharded container decompresses to %d patterns, want 8", len(ts.Cubes))
+	}
+}
+
+// TestBatchSubcommandShardedRaw pins the -raw legacy layout: one
+// LZWTC1 container per shard.
+func TestBatchSubcommandShardedRaw(t *testing.T) {
+	dir, manifest := writeBatchFixture(t)
+	outDir := filepath.Join(dir, "out")
+	err := batch(context.Background(), []string{"-manifest", manifest, "-out-dir", outDir, "-shard-patterns", "3", "-raw"})
+	if err != nil {
+		t.Fatalf("sharded raw batch: %v", err)
+	}
 	total := 0
-	for k := range rec.Shards {
+	for k := 0; k < 3; k++ {
 		raw, err := os.ReadFile(filepath.Join(outDir, "b.shard"+string(rune('0'+k))+".lzw"))
 		if err != nil {
 			t.Fatal(err)
@@ -133,6 +158,68 @@ func TestBatchSubcommandSharded(t *testing.T) {
 	}
 	if total != 8 {
 		t.Fatalf("shards decompress to %d patterns, want 8", total)
+	}
+}
+
+// TestBatchMismatchedConfigFailsLoudly is the regression test for the
+// headerless-dump hazard: corrupting the configuration region of a
+// batch-written wire container makes decode fail with a typed checksum
+// error, where the legacy container silently decompresses to garbage
+// that still parses as a test set.
+func TestBatchMismatchedConfigFailsLoudly(t *testing.T) {
+	dir, manifest := writeBatchFixture(t)
+	outDir := filepath.Join(dir, "out")
+	if err := batch(context.Background(), []string{"-manifest", manifest, "-out-dir", outDir}); err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	raw, err := os.ReadFile(filepath.Join(outDir, "a.lzw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte 5 is the first header config field (CharBits uvarint):
+	// flipping it is exactly a "decoded under the wrong Config" setup.
+	mut := bytes.Clone(raw)
+	mut[5] ^= 0x01
+	_, err = lzwtc.DecompressWire(bytes.NewReader(mut))
+	if !errors.Is(err, lzwtc.ErrWireChecksum) {
+		t.Fatalf("mismatched config decode: got %v, want ErrWireChecksum", err)
+	}
+
+	// The legacy container demonstrates the hazard this PR closes: the
+	// same single-byte config mutation still "decodes" — no error, just
+	// a differently-shaped test set.
+	legacy := filepath.Join(dir, "legacy-out")
+	if err := batch(context.Background(), []string{"-manifest", manifest, "-out-dir", legacy, "-raw"}); err != nil {
+		t.Fatalf("raw batch: %v", err)
+	}
+	lraw, err := os.ReadFile(filepath.Join(legacy, "a.lzw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scan the legacy header region for a single-byte config mutation
+	// that still decodes cleanly — to a different set.
+	orig, err := lzwtc.DecodeResult(lraw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	silent := false
+	for pos := 8; pos < 20 && pos < len(lraw); pos++ {
+		m := bytes.Clone(lraw)
+		m[pos] ^= 0x01
+		res, err := lzwtc.DecodeResult(m)
+		if err != nil {
+			continue
+		}
+		if res.Stream.Cfg == orig.Stream.Cfg && res.Width == orig.Width {
+			continue
+		}
+		if _, err := lzwtc.Decompress(res); err == nil {
+			silent = true
+			break
+		}
+	}
+	if !silent {
+		t.Log("legacy container rejected every single-byte config mutation here; hazard not reproduced on this fixture")
 	}
 }
 

@@ -10,6 +10,7 @@
 //	lzwtc batch     -manifest jobs.txt -out-dir out/ [-workers N -policy collect]
 //	lzwtc compare   -in cubes.txt              # all coders side by side
 //	lzwtc verify    -cubes cubes.txt -filled filled.txt
+//	lzwtc remote    {compress|decompress|stats|health} -server http://host:8077
 //
 // Every pipeline subcommand also accepts the observability flags
 // -telemetry {text|jsonl}, -telemetry-out, -metrics-out, -cpuprofile
@@ -17,6 +18,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -57,6 +59,8 @@ func main() {
 		err = compare(os.Args[2:])
 	case "verify":
 		err = verify(os.Args[2:])
+	case "remote":
+		err = remote(ctx, os.Args[2:])
 	default:
 		usage()
 	}
@@ -71,7 +75,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lzwtc {compress|decompress|info|stats|batch|compare|verify} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lzwtc {compress|decompress|info|stats|batch|compare|verify|remote} [flags]")
 	os.Exit(2)
 }
 
@@ -93,6 +97,23 @@ type nopWriteCloser struct{ io.Writer }
 
 func (nopWriteCloser) Close() error { return nil }
 
+// decodeAnyContainer parses either container generation into a Result
+// (wire containers must be single-frame; sharded ones only decompress).
+func decodeAnyContainer(data []byte) (*lzwtc.Result, error) {
+	if lzwtc.IsWireContainer(data) {
+		return lzwtc.DecodeWireResult(data)
+	}
+	return lzwtc.DecodeResult(data)
+}
+
+// patternCount is a nil-safe pattern count for telemetry fields.
+func patternCount(ts *lzwtc.TestSet) int {
+	if ts == nil {
+		return 0
+	}
+	return len(ts.Cubes)
+}
+
 func configFlags(fs *flag.FlagSet) *lzwtc.Config {
 	cfg := lzwtc.DefaultConfig()
 	fs.IntVar(&cfg.CharBits, "char", cfg.CharBits, "C_C: character size in bits")
@@ -105,6 +126,7 @@ func compress(args []string) error {
 	fs := flag.NewFlagSet("compress", flag.ExitOnError)
 	in := fs.String("in", "-", "input cube file (- for stdin)")
 	out := fs.String("out", "-", "output container (- for stdout)")
+	wireOut := fs.Bool("wire", false, "write the versioned wire format (CRC framing) instead of the legacy container")
 	cfg := configFlags(fs)
 	opts := telemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -133,7 +155,12 @@ func compress(args []string) error {
 		return err
 	}
 	defer w.Close()
-	if _, err := w.Write(res.Encode()); err != nil {
+	if *wireOut {
+		err = res.WriteWire(w)
+	} else {
+		_, err = w.Write(res.Encode())
+	}
+	if err != nil {
 		return err
 	}
 	if err := w.Close(); err != nil {
@@ -166,13 +193,21 @@ func decompress(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := lzwtc.DecodeResult(data)
-	if err != nil {
-		return err
-	}
+	// Both container generations decompress: the versioned wire format
+	// (CRC-framed, the batch and service default) is sniffed by magic,
+	// anything else is tried as a legacy LZWTC1/TS container.
+	var ts *lzwtc.TestSet
 	sp := rec.Span("decompress")
-	ts, err := lzwtc.Decompress(res)
-	sp.End(telemetry.F("patterns", res.Patterns))
+	if lzwtc.IsWireContainer(data) {
+		ts, err = lzwtc.DecompressWire(bytes.NewReader(data))
+	} else {
+		var res *lzwtc.Result
+		res, err = lzwtc.DecodeResult(data)
+		if err == nil {
+			ts, err = lzwtc.Decompress(res)
+		}
+	}
+	sp.End(telemetry.F("patterns", patternCount(ts)))
 	if err != nil {
 		return err
 	}
@@ -207,7 +242,7 @@ func info(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := lzwtc.DecodeResult(data)
+	res, err := decodeAnyContainer(data)
 	if err != nil {
 		return err
 	}

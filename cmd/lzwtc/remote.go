@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"lzwtc"
+	"lzwtc/client"
+)
+
+// remote drives a running lzwtcd instance through the client package:
+//
+//	lzwtc remote compress   -server URL -in cubes.txt -out cubes.lzw [-shard N] [config flags]
+//	lzwtc remote decompress -server URL -in cubes.lzw -out filled.txt
+//	lzwtc remote stats      -server URL
+//	lzwtc remote health     -server URL
+func remote(ctx context.Context, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: lzwtc remote {compress|decompress|stats|health} [flags]")
+	}
+	verb, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet("remote "+verb, flag.ExitOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:8077", "lzwtcd base URL")
+	retries := fs.Int("retries", 2, "retry attempts for transient failures")
+	timeout := fs.Duration("timeout", 2*time.Minute, "overall deadline for the operation")
+	var in, out *string
+	var shard *int
+	var cfg *lzwtc.Config
+	switch verb {
+	case "compress":
+		in = fs.String("in", "-", "input cube file (- for stdin)")
+		out = fs.String("out", "-", "output container (- for stdout)")
+		shard = fs.Int("shard", 0, "patterns per shard frame (0 = single frame)")
+		cfg = configFlags(fs)
+	case "decompress":
+		in = fs.String("in", "-", "input container (- for stdin)")
+		out = fs.String("out", "-", "output cube file (- for stdout)")
+	case "stats", "health":
+	default:
+		return fmt.Errorf("remote: unknown verb %q (want compress, decompress, stats or health)", verb)
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
+	c := client.New(*serverURL, client.Options{Retries: *retries})
+
+	switch verb {
+	case "compress":
+		return remoteCompress(ctx, c, *in, *out, *cfg, *shard)
+	case "decompress":
+		return remoteDecompress(ctx, c, *in, *out)
+	case "stats":
+		stats, err := c.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("uptime:        %.1fs\n", stats.UptimeSeconds)
+		fmt.Printf("in flight:     %d\n", stats.InFlight)
+		fmt.Printf("requests:      %d (errors %d)\n", stats.Requests["total"], stats.Errors)
+		fmt.Printf("bytes:         %d in, %d out\n", stats.BytesIn, stats.BytesOut)
+		fmt.Printf("patterns:      %d compressed, %d decompressed\n",
+			stats.PatternsCompressed, stats.PatternsDecompressed)
+		return nil
+	case "health":
+		if err := c.Health(ctx); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+		return nil
+	}
+	return nil
+}
+
+func remoteCompress(ctx context.Context, c *client.Client, in, out string, cfg lzwtc.Config, shard int) error {
+	r, err := openIn(in)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	ts, err := lzwtc.ReadTestSet(r)
+	if err != nil {
+		return err
+	}
+	container, err := c.Compress(ctx, ts, cfg, client.CompressOptions{ShardPatterns: shard})
+	if err != nil {
+		return err
+	}
+	w, err := openOut(out)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if _, err := w.Write(container); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "remote compressed %d patterns into %d container bytes\n", len(ts.Cubes), len(container))
+	return nil
+}
+
+func remoteDecompress(ctx context.Context, c *client.Client, in, out string) error {
+	r, err := openIn(in)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	container, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	ts, err := c.Decompress(ctx, container)
+	if err != nil {
+		return err
+	}
+	w, err := openOut(out)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if err := ts.WriteCubes(w); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "remote decompressed %d patterns x %d bits\n", len(ts.Cubes), ts.Width)
+	return nil
+}

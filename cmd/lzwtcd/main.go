@@ -1,0 +1,66 @@
+// Command lzwtcd serves the lzwtc compression pipeline over HTTP.
+//
+// Usage:
+//
+//	lzwtcd [-addr :8077] [-max-body 67108864] [-timeout 60s] [-drain 30s] [-workers 0]
+//
+// The service answers POST /v1/compress and POST /v1/decompress with
+// streaming wire-format bodies, plus GET /v1/stats, /healthz and
+// /metrics. SIGINT/SIGTERM trigger a graceful drain: the listener
+// closes, in-flight requests finish (bounded by -drain), then the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lzwtc/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lzwtcd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lzwtcd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8077", "listen address (use :0 for an ephemeral port)")
+	maxBody := fs.Int64("max-body", 64<<20, "maximum request body size in bytes")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-request wall-clock limit")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-drain limit after SIGINT/SIGTERM")
+	workers := fs.Int("workers", 0, "parallel pool size per request (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address matters when -addr was :0; smoke harnesses
+	// parse this line to find the port.
+	fmt.Printf("lzwtcd: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := server.New(server.Config{
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *timeout,
+		Workers:        *workers,
+	})
+	if err := srv.Serve(ctx, ln, *drain); err != nil {
+		return err
+	}
+	fmt.Println("lzwtcd: drained, shutting down")
+	return nil
+}

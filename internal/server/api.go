@@ -1,0 +1,158 @@
+package server
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+
+	"lzwtc/internal/core"
+)
+
+// API paths served by lzwtcd and spoken by the client package.
+const (
+	PathCompress   = "/v1/compress"
+	PathDecompress = "/v1/decompress"
+	PathStats      = "/v1/stats"
+	PathHealth     = "/healthz"
+	PathMetrics    = "/metrics"
+)
+
+// Query parameter names for /v1/compress. The values mirror the lzwtc
+// CLI flags and batch-manifest options.
+const (
+	ParamChar  = "char"
+	ParamDict  = "dict"
+	ParamEntry = "entry"
+	ParamFill  = "fill"
+	ParamTie   = "tie"
+	ParamFull  = "full"
+	ParamShard = "shard"
+)
+
+// Response headers carrying compression geometry next to the container.
+const (
+	HeaderPatterns = "X-Lzwtc-Patterns"
+	HeaderWidth    = "X-Lzwtc-Width"
+	HeaderRatio    = "X-Lzwtc-Ratio"
+	HeaderShards   = "X-Lzwtc-Shards"
+)
+
+// ErrorBody is the structured error envelope every non-2xx response
+// carries.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail is the machine-readable error: a stable code plus a
+// human message.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Stable error codes.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeBodyTooLarge     = "body_too_large"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeNotFound         = "not_found"
+	CodeTimeout          = "timeout"
+	CodeCanceled         = "canceled"
+	CodeDraining         = "draining"
+	CodeInternal         = "internal"
+)
+
+// StatsResponse is the /v1/stats document.
+type StatsResponse struct {
+	UptimeSeconds        float64          `json:"uptime_seconds"`
+	InFlight             int64            `json:"in_flight"`
+	Requests             map[string]int64 `json:"requests"`
+	Errors               int64            `json:"errors"`
+	BytesIn              int64            `json:"bytes_in"`
+	BytesOut             int64            `json:"bytes_out"`
+	PatternsCompressed   int64            `json:"patterns_compressed"`
+	PatternsDecompressed int64            `json:"patterns_decompressed"`
+}
+
+// EncodeCompressQuery renders a Config (and optional shard size) as
+// /v1/compress query parameters.
+//lzwtcvet:ignore configbeforeuse pure serializer; ParseCompressQuery validates on receipt
+func EncodeCompressQuery(cfg core.Config, shardPatterns int) url.Values {
+	v := url.Values{}
+	v.Set(ParamChar, strconv.Itoa(cfg.CharBits))
+	v.Set(ParamDict, strconv.Itoa(cfg.DictSize))
+	v.Set(ParamEntry, strconv.Itoa(cfg.EntryBits))
+	v.Set(ParamFill, cfg.Fill.String())
+	v.Set(ParamTie, cfg.Tie.String())
+	v.Set(ParamFull, cfg.Full.String())
+	if shardPatterns > 0 {
+		v.Set(ParamShard, strconv.Itoa(shardPatterns))
+	}
+	return v
+}
+
+// ParseCompressQuery inverts EncodeCompressQuery, starting from the
+// paper's default configuration for absent parameters.
+func ParseCompressQuery(v url.Values) (core.Config, int, error) {
+	cfg := core.DefaultConfig()
+	shard := 0
+	intParam := func(name string, dst *int) error {
+		s := v.Get(name)
+		if s == "" {
+			return nil
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return fmt.Errorf("server: parameter %s=%q: %w", name, s, err)
+		}
+		*dst = n
+		return nil
+	}
+	if err := intParam(ParamChar, &cfg.CharBits); err != nil {
+		return cfg, 0, err
+	}
+	if err := intParam(ParamDict, &cfg.DictSize); err != nil {
+		return cfg, 0, err
+	}
+	if err := intParam(ParamEntry, &cfg.EntryBits); err != nil {
+		return cfg, 0, err
+	}
+	if err := intParam(ParamShard, &shard); err != nil {
+		return cfg, 0, err
+	}
+	if shard < 0 {
+		return cfg, 0, fmt.Errorf("server: parameter shard=%d must be >= 0", shard)
+	}
+	switch s := v.Get(ParamFill); s {
+	case "", "zero":
+		cfg.Fill = core.FillZero
+	case "one":
+		cfg.Fill = core.FillOne
+	case "repeat":
+		cfg.Fill = core.FillRepeat
+	default:
+		return cfg, 0, fmt.Errorf("server: unknown fill policy %q", s)
+	}
+	switch s := v.Get(ParamTie); s {
+	case "", "oldest":
+		cfg.Tie = core.TieOldest
+	case "newest":
+		cfg.Tie = core.TieNewest
+	case "widest":
+		cfg.Tie = core.TieWidest
+	default:
+		return cfg, 0, fmt.Errorf("server: unknown tie policy %q", s)
+	}
+	switch s := v.Get(ParamFull); s {
+	case "", "freeze":
+		cfg.Full = core.FullFreeze
+	case "reset":
+		cfg.Full = core.FullReset
+	default:
+		return cfg, 0, fmt.Errorf("server: unknown full policy %q", s)
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, 0, err
+	}
+	return cfg, shard, nil
+}

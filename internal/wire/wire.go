@@ -1,0 +1,529 @@
+// Package wire is the versioned on-the-wire representation of a
+// compressed test stream: the format the ATE channel, the batch output
+// files and the lzwtcd network service all speak.
+//
+// The paper's decompressor consumes a stream of fixed-width C_E-bit
+// codes whose meaning depends entirely on the configurator parameters
+// (C_C, N, C_MDATA, the fill/tie/reset policies): the same bits
+// decompress to different scan data under a different Config, silently.
+// A durable representation therefore pins the configuration next to the
+// payload and makes every region tamper-evident:
+//
+//	header  magic "LZWW" | version u8 | uvarint config+geometry | CRC32C
+//	frame   'F' | uvarint patterns, inputBits, nCodes | packed codes | CRC32C
+//	...     (one frame per independently decompressible shard)
+//	eos     'E' | uvarint frameCount, totalPatterns | CRC32C
+//
+// All multi-byte CRCs are big-endian CRC32C (Castagnoli). Every frame
+// is independently decompressible — a frame boundary is semantically a
+// dictionary FullReset, exactly the shard boundary of the parallel
+// engine — so a Reader can stream frames without buffering the file.
+// The explicit EOS frame carries the frame and pattern totals, so
+// truncation at any byte is always detectable: either a CRC fails, a
+// read hits EOF mid-region (ErrTruncated), or the stream ends before
+// the EOS frame (ErrTruncated).
+//
+// Decoding is hostile-input safe: arbitrary bytes produce a typed error
+// (ErrBadMagic, ErrVersion, ErrChecksum, ErrTruncated, or a config
+// validation error), never a panic, and allocation is bounded by the
+// bytes actually read, not by attacker-controlled length fields.
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"lzwtc/internal/core"
+)
+
+// Magic is the 4-byte container signature.
+var Magic = [4]byte{'L', 'Z', 'W', 'W'}
+
+// Version is the current format version. Readers reject anything newer.
+const Version = 1
+
+// Typed decode errors. Wrapped errors carry position detail; test with
+// errors.Is.
+var (
+	// ErrBadMagic reports a stream that is not a wire container at all.
+	ErrBadMagic = errors.New("wire: bad magic (not an LZWW container)")
+	// ErrVersion reports a container from a newer (or zero) format version.
+	ErrVersion = errors.New("wire: unsupported format version")
+	// ErrChecksum reports a CRC32C mismatch in a header or frame.
+	ErrChecksum = errors.New("wire: checksum mismatch")
+	// ErrTruncated reports a stream that ended mid-region or before the
+	// EOS frame.
+	ErrTruncated = errors.New("wire: truncated stream")
+	// ErrFrameType reports an unknown frame marker byte.
+	ErrFrameType = errors.New("wire: unknown frame type")
+	// ErrLimit reports a length field exceeding the format's hard bounds.
+	ErrLimit = errors.New("wire: length field exceeds format limit")
+	// ErrClosed reports a write to a closed Writer.
+	ErrClosed = errors.New("wire: writer closed")
+)
+
+// Frame marker bytes.
+const (
+	frameData = 'F'
+	frameEOS  = 'E'
+)
+
+// Format hard bounds: length fields beyond these are rejected before
+// any allocation happens. They comfortably exceed every real workload
+// (the paper's largest set is ~200k bits) while keeping a hostile
+// header from requesting gigabytes.
+const (
+	// MaxWidth bounds the pattern width carried in the header.
+	MaxWidth = 1 << 24
+	// MaxFramePatterns bounds one frame's pattern count.
+	MaxFramePatterns = 1 << 24
+	// MaxFrameCodes bounds one frame's code count.
+	MaxFrameCodes = 1 << 26
+	// MaxFrameInputBits bounds one frame's unpadded input length.
+	MaxFrameInputBits = 1 << 30
+	// MaxFrames bounds the container's frame count.
+	MaxFrames = 1 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Header is the container preamble: the full configurator state plus
+// the original pattern width, everything a decompressor needs with no
+// out-of-band knowledge.
+type Header struct {
+	Cfg   core.Config
+	Width int
+}
+
+// Frame is one independently decompressible code block: a run of whole
+// patterns compressed with a fresh dictionary (a frame boundary is a
+// FullReset). Patterns and InputBits carry the original geometry so
+// ratios and the decompressor's stop condition need no side channel.
+type Frame struct {
+	Patterns  int
+	InputBits int
+	Codes     []core.Code
+}
+
+// appendUvarint appends v as a uvarint.
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+// EncodeHeader renders the header region: magic, version, uvarint
+// config + width, CRC32C over all of it.
+func EncodeHeader(h Header) []byte {
+	b := make([]byte, 0, 32)
+	b = append(b, Magic[:]...)
+	b = append(b, Version)
+	b = appendUvarint(b, uint64(h.Cfg.CharBits))
+	b = appendUvarint(b, uint64(h.Cfg.DictSize))
+	b = appendUvarint(b, uint64(h.Cfg.EntryBits))
+	b = appendUvarint(b, uint64(h.Cfg.Fill))
+	b = appendUvarint(b, uint64(h.Cfg.Tie))
+	b = appendUvarint(b, uint64(h.Cfg.Full))
+	b = appendUvarint(b, uint64(h.Width))
+	return binary.BigEndian.AppendUint32(b, crc32.Checksum(b, crcTable))
+}
+
+// encodeFrame renders one data frame region.
+func encodeFrame(f *Frame, cb int) []byte {
+	payload := packCodes(f.Codes, cb)
+	b := make([]byte, 0, len(payload)+24)
+	b = append(b, frameData)
+	b = appendUvarint(b, uint64(f.Patterns))
+	b = appendUvarint(b, uint64(f.InputBits))
+	b = appendUvarint(b, uint64(len(f.Codes)))
+	b = append(b, payload...)
+	return binary.BigEndian.AppendUint32(b, crc32.Checksum(b, crcTable))
+}
+
+// encodeEOS renders the end-of-stream frame.
+func encodeEOS(frames, patterns int) []byte {
+	b := make([]byte, 0, 16)
+	b = append(b, frameEOS)
+	b = appendUvarint(b, uint64(frames))
+	b = appendUvarint(b, uint64(patterns))
+	return binary.BigEndian.AppendUint32(b, crc32.Checksum(b, crcTable))
+}
+
+// packCodes packs fixed-width cb-bit codes MSB-first — the same bit
+// order core.Result.Pack emits for the ATE channel.
+func packCodes(codes []core.Code, cb int) []byte {
+	out := make([]byte, (len(codes)*cb+7)/8)
+	bitPos := 0
+	for _, c := range codes {
+		for i := cb - 1; i >= 0; i-- {
+			if c>>uint(i)&1 != 0 {
+				out[bitPos>>3] |= 1 << uint(7-bitPos&7)
+			}
+			bitPos++
+		}
+	}
+	return out
+}
+
+// unpackCodes inverts packCodes; data must hold exactly n cb-bit codes
+// (plus zero padding to the byte boundary).
+func unpackCodes(data []byte, n, cb int) []core.Code {
+	codes := make([]core.Code, n)
+	bitPos := 0
+	for i := range codes {
+		var v core.Code
+		for j := 0; j < cb; j++ {
+			v <<= 1
+			if data[bitPos>>3]>>uint(7-bitPos&7)&1 != 0 {
+				v |= 1
+			}
+			bitPos++
+		}
+		codes[i] = v
+	}
+	return codes
+}
+
+// Writer streams a container to an io.Writer: header up front, one
+// region per WriteFrame, EOS on Close. Writer does not buffer beyond
+// the frame being encoded, so arbitrarily many frames stream in
+// constant memory.
+type Writer struct {
+	w        io.Writer
+	hdr      Header
+	cb       int
+	frames   int
+	patterns int
+	closed   bool
+	err      error
+}
+
+// NewWriter validates the header and writes it to w.
+func NewWriter(w io.Writer, hdr Header) (*Writer, error) {
+	if err := hdr.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if hdr.Width <= 0 || hdr.Width > MaxWidth {
+		return nil, fmt.Errorf("wire: pattern width %d out of range [1,%d]", hdr.Width, MaxWidth)
+	}
+	if _, err := w.Write(EncodeHeader(hdr)); err != nil {
+		return nil, err
+	}
+	return &Writer{w: w, hdr: hdr, cb: hdr.Cfg.CodeBits()}, nil
+}
+
+// Header returns the header the Writer was opened with.
+func (w *Writer) Header() Header { return w.hdr }
+
+// WriteFrame appends one data frame. The frame's codes must fit the
+// header's code width (guaranteed when they come from a compression
+// under the same Config).
+func (w *Writer) WriteFrame(f *Frame) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return ErrClosed
+	}
+	if f.Patterns <= 0 || f.Patterns > MaxFramePatterns {
+		return fmt.Errorf("wire: frame pattern count %d out of range [1,%d]", f.Patterns, MaxFramePatterns)
+	}
+	if f.InputBits < 0 || f.InputBits > MaxFrameInputBits {
+		return fmt.Errorf("wire: frame input bits %d out of range [0,%d]", f.InputBits, MaxFrameInputBits)
+	}
+	if len(f.Codes) > MaxFrameCodes {
+		return fmt.Errorf("wire: frame code count %d exceeds %d", len(f.Codes), MaxFrameCodes)
+	}
+	if w.frames+1 > MaxFrames {
+		return fmt.Errorf("wire: frame count exceeds %d", MaxFrames)
+	}
+	for i, c := range f.Codes {
+		if int(c) >= w.hdr.Cfg.DictSize {
+			return fmt.Errorf("wire: frame code %d = %d exceeds dictionary size %d", i, c, w.hdr.Cfg.DictSize)
+		}
+	}
+	if _, err := w.w.Write(encodeFrame(f, w.cb)); err != nil {
+		w.err = err
+		return err
+	}
+	w.frames++
+	w.patterns += f.Patterns
+	return nil
+}
+
+// WriteResult appends one compressed stream as a frame, checking that
+// it was produced under the Writer's configuration.
+func (w *Writer) WriteResult(res *core.Result, patterns int) error {
+	if res.Cfg != w.hdr.Cfg {
+		return fmt.Errorf("wire: result config %+v differs from container config %+v", res.Cfg, w.hdr.Cfg)
+	}
+	return w.WriteFrame(&Frame{Patterns: patterns, InputBits: res.InputBits, Codes: res.Codes})
+}
+
+// Close writes the EOS frame. Further writes fail with ErrClosed;
+// closing twice is a no-op.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if _, err := w.w.Write(encodeEOS(w.frames, w.patterns)); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Reader streams a container from an io.Reader: the header is parsed
+// and validated by NewReader, then ReadFrame yields data frames until
+// the EOS frame, after which it returns io.EOF. A stream that ends
+// before its EOS frame yields ErrTruncated.
+type Reader struct {
+	r        *bufio.Reader
+	hdr      Header
+	cb       int
+	frames   int
+	patterns int
+	done     bool
+	err      error
+}
+
+// NewReader reads and validates the container header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	raw := make([]byte, 0, 32)
+
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: magic: %v", truncErr(err), err)
+	}
+	if !bytes.Equal(magic, Magic[:]) {
+		return nil, ErrBadMagic
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: version: %v", truncErr(err), err)
+	}
+	raw = append(raw, magic...)
+	raw = append(raw, version)
+	if version != Version {
+		return nil, fmt.Errorf("%w: got %d, support <= %d", ErrVersion, version, Version)
+	}
+
+	var fields [7]uint64
+	for i := range fields {
+		v, consumed, err := readUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: header field %d: %v", truncErr(err), i, err)
+		}
+		fields[i] = v
+		raw = append(raw, consumed...)
+	}
+	if err := checkCRC(br, raw, "header"); err != nil {
+		return nil, err
+	}
+
+	hdr := Header{
+		Cfg: core.Config{
+			CharBits:  clampInt(fields[0]),
+			DictSize:  clampInt(fields[1]),
+			EntryBits: clampInt(fields[2]),
+			Fill:      core.FillPolicy(fields[3]),
+			Tie:       core.TieBreak(fields[4]),
+			Full:      core.FullPolicy(fields[5]),
+		},
+		Width: clampInt(fields[6]),
+	}
+	if fields[3] > uint64(core.FillRepeat) || fields[4] > uint64(core.TieWidest) || fields[5] > uint64(core.FullReset) {
+		return nil, fmt.Errorf("wire: unknown policy in header (fill=%d tie=%d full=%d)", fields[3], fields[4], fields[5])
+	}
+	if err := hdr.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if hdr.Width <= 0 || hdr.Width > MaxWidth {
+		return nil, fmt.Errorf("%w: pattern width %d", ErrLimit, hdr.Width)
+	}
+	return &Reader{r: br, hdr: hdr, cb: hdr.Cfg.CodeBits()}, nil
+}
+
+// Header returns the parsed container header.
+func (r *Reader) Header() Header { return r.hdr }
+
+// Frames returns the number of data frames read so far.
+func (r *Reader) Frames() int { return r.frames }
+
+// Patterns returns the total patterns across frames read so far.
+func (r *Reader) Patterns() int { return r.patterns }
+
+// ReadFrame returns the next data frame, or io.EOF after a valid EOS
+// frame. Every other outcome is an error: ErrTruncated when the stream
+// ends early, ErrChecksum on corruption, ErrFrameType on an unknown
+// marker.
+func (r *Reader) ReadFrame() (*Frame, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.done {
+		return nil, io.EOF
+	}
+	f, err := r.readFrame()
+	if err != nil && err != io.EOF {
+		r.err = err
+	}
+	return f, err
+}
+
+func (r *Reader) readFrame() (*Frame, error) {
+	marker, err := r.r.ReadByte()
+	if err != nil {
+		// EOF between frames still means truncation: a complete
+		// container always ends with an EOS frame.
+		return nil, fmt.Errorf("%w: stream ended before EOS frame", ErrTruncated)
+	}
+	raw := []byte{marker}
+	switch marker {
+	case frameData:
+		return r.readDataFrame(raw)
+	case frameEOS:
+		return nil, r.readEOSFrame(raw)
+	default:
+		return nil, fmt.Errorf("%w: 0x%02x at frame %d", ErrFrameType, marker, r.frames)
+	}
+}
+
+func (r *Reader) readDataFrame(raw []byte) (*Frame, error) {
+	if r.frames+1 > MaxFrames {
+		return nil, fmt.Errorf("%w: more than %d frames", ErrLimit, MaxFrames)
+	}
+	var fields [3]uint64
+	for i := range fields {
+		v, consumed, err := readUvarint(r.r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: frame %d field %d: %v", truncErr(err), r.frames, i, err)
+		}
+		fields[i] = v
+		raw = append(raw, consumed...)
+	}
+	patterns, inputBits, nCodes := fields[0], fields[1], fields[2]
+	if patterns == 0 || patterns > MaxFramePatterns {
+		return nil, fmt.Errorf("%w: frame %d pattern count %d", ErrLimit, r.frames, patterns)
+	}
+	if inputBits > MaxFrameInputBits {
+		return nil, fmt.Errorf("%w: frame %d input bits %d", ErrLimit, r.frames, inputBits)
+	}
+	if nCodes > MaxFrameCodes {
+		return nil, fmt.Errorf("%w: frame %d code count %d", ErrLimit, r.frames, nCodes)
+	}
+	payloadLen := (int(nCodes)*r.cb + 7) / 8
+	// Read the payload through a bounded-growth buffer: allocation
+	// tracks bytes actually present in the stream, so a hostile nCodes
+	// with a short body cannot force a giant up-front allocation.
+	var payload bytes.Buffer
+	if n, err := io.CopyN(&payload, r.r, int64(payloadLen)); err != nil {
+		return nil, fmt.Errorf("%w: frame %d payload: got %d of %d bytes", ErrTruncated, r.frames, n, payloadLen)
+	}
+	raw = append(raw, payload.Bytes()...)
+	if err := checkCRC(r.r, raw, fmt.Sprintf("frame %d", r.frames)); err != nil {
+		return nil, err
+	}
+	f := &Frame{
+		Patterns:  int(patterns),
+		InputBits: int(inputBits),
+		Codes:     unpackCodes(payload.Bytes(), int(nCodes), r.cb),
+	}
+	for i, c := range f.Codes {
+		if int(c) >= r.hdr.Cfg.DictSize {
+			return nil, fmt.Errorf("wire: frame %d code %d = %d exceeds dictionary size %d", r.frames, i, c, r.hdr.Cfg.DictSize)
+		}
+	}
+	r.frames++
+	r.patterns += f.Patterns
+	return f, nil
+}
+
+// readEOSFrame validates the EOS totals and returns io.EOF on success.
+func (r *Reader) readEOSFrame(raw []byte) error {
+	var fields [2]uint64
+	for i := range fields {
+		v, consumed, err := readUvarint(r.r)
+		if err != nil {
+			return fmt.Errorf("%w: EOS field %d: %v", truncErr(err), i, err)
+		}
+		fields[i] = v
+		raw = append(raw, consumed...)
+	}
+	if err := checkCRC(r.r, raw, "EOS frame"); err != nil {
+		return err
+	}
+	if int(fields[0]) != r.frames || int(fields[1]) != r.patterns {
+		return fmt.Errorf("%w: EOS totals %d frames/%d patterns, read %d/%d",
+			ErrTruncated, fields[0], fields[1], r.frames, r.patterns)
+	}
+	r.done = true
+	return io.EOF
+}
+
+// checkCRC reads the 4-byte big-endian CRC32C that terminates a region
+// and verifies it against the raw bytes read so far.
+func checkCRC(r io.Reader, raw []byte, region string) error {
+	var sum [4]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return fmt.Errorf("%w: %s checksum: %v", truncErr(err), region, err)
+	}
+	want := binary.BigEndian.Uint32(sum[:])
+	if got := crc32.Checksum(raw, crcTable); got != want {
+		return fmt.Errorf("%w: %s: computed %08x, stored %08x", ErrChecksum, region, got, want)
+	}
+	return nil
+}
+
+// readUvarint reads a uvarint and also returns the exact bytes
+// consumed, for CRC accumulation.
+func readUvarint(r *bufio.Reader) (uint64, []byte, error) {
+	var consumed []byte
+	var v uint64
+	var shift uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, nil, err
+		}
+		consumed = append(consumed, b)
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, nil, fmt.Errorf("uvarint overflows 64 bits")
+			}
+			return v | uint64(b)<<shift, consumed, nil
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, nil, fmt.Errorf("uvarint too long")
+}
+
+// truncErr maps read errors onto ErrTruncated: any EOF (or short read)
+// while inside a region means the stream ended early.
+func truncErr(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return ErrTruncated
+	}
+	return ErrTruncated // non-EOF read errors still surface via %v detail
+}
+
+// clampInt converts a header uvarint to int, saturating instead of
+// wrapping on 32-bit overflow so validation sees an out-of-range value
+// rather than a negative one.
+func clampInt(v uint64) int {
+	if v > 1<<31-1 {
+		return 1<<31 - 1
+	}
+	return int(v)
+}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Coverage gate: total statement coverage across every package must not
+# fall below the committed floor (the level the suite had when the gate
+# was introduced). Raise the floor as coverage grows; never lower it to
+# make a PR pass.
+set -eu
+
+FLOOR="${COVER_FLOOR:-72.5}"
+PROFILE="${COVER_PROFILE:-/tmp/lzwtc-cover.out}"
+
+go test -coverprofile="$PROFILE" -coverpkg=./... ./... >/dev/null
+TOTAL=$(go tool cover -func="$PROFILE" | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')
+echo "coverage: total ${TOTAL}% (floor ${FLOOR}%)"
+awk -v total="$TOTAL" -v floor="$FLOOR" 'BEGIN {
+    if (total + 0 < floor + 0) {
+        printf "coverage gate FAILED: %.1f%% < %.1f%%\n", total, floor
+        exit 1
+    }
+}'

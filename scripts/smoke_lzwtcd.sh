@@ -1,0 +1,47 @@
+#!/bin/sh
+# lzwtcd smoke: build the server and CLI, start the service on an
+# ephemeral port, push one compress/decompress round trip through
+# `lzwtc remote`, check /healthz and /v1/stats, then SIGTERM the server
+# and require a clean (exit 0) graceful drain.
+set -eu
+
+WORK=$(mktemp -d)
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/lzwtcd" ./cmd/lzwtcd
+go build -o "$WORK/lzwtc" ./cmd/lzwtc
+
+"$WORK/lzwtcd" -addr 127.0.0.1:0 >"$WORK/lzwtcd.log" 2>&1 &
+SERVER_PID=$!
+
+# The server prints "lzwtcd: listening on ADDR" once the listener is up.
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(awk '/listening on/ {print $NF; exit}' "$WORK/lzwtcd.log" 2>/dev/null || true)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "lzwtcd never started"; cat "$WORK/lzwtcd.log"; exit 1; }
+SERVER="http://$ADDR"
+echo "smoke: server at $SERVER"
+
+"$WORK/lzwtc" remote health -server "$SERVER"
+
+IN=testdata/conformance/paper-slice.cubes
+"$WORK/lzwtc" remote compress -server "$SERVER" -in "$IN" -out "$WORK/out.lzw" \
+    -char 7 -dict 1024 -entry 63
+"$WORK/lzwtc" remote decompress -server "$SERVER" -in "$WORK/out.lzw" -out "$WORK/filled.txt"
+"$WORK/lzwtc" verify -cubes "$IN" -filled "$WORK/filled.txt"
+"$WORK/lzwtc" remote stats -server "$SERVER"
+
+kill -TERM "$SERVER_PID"
+WAIT_STATUS=0
+wait "$SERVER_PID" || WAIT_STATUS=$?
+if [ "$WAIT_STATUS" -ne 0 ]; then
+    echo "lzwtcd did not drain cleanly (exit $WAIT_STATUS)"
+    cat "$WORK/lzwtcd.log"
+    exit 1
+fi
+grep -q "drained, shutting down" "$WORK/lzwtcd.log" || {
+    echo "missing drain message"; cat "$WORK/lzwtcd.log"; exit 1; }
+echo "smoke: clean drain"

@@ -1,0 +1,145 @@
+package lzwtc
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"lzwtc/internal/bitvec"
+	"lzwtc/internal/core"
+	"lzwtc/internal/wire"
+)
+
+// Wire-format typed errors, re-exported for callers that never import
+// internal packages. Test with errors.Is.
+var (
+	ErrWireBadMagic  = wire.ErrBadMagic
+	ErrWireVersion   = wire.ErrVersion
+	ErrWireChecksum  = wire.ErrChecksum
+	ErrWireTruncated = wire.ErrTruncated
+)
+
+// IsWireContainer reports whether data begins with the wire-format
+// magic — the dispatch test file and service handlers use to tell the
+// framed format from the legacy Encode container.
+func IsWireContainer(data []byte) bool {
+	return len(data) >= len(wire.Magic) && bytes.Equal(data[:len(wire.Magic)], wire.Magic[:])
+}
+
+// WriteWire streams a Result to w in the versioned wire format: a
+// CRC-protected header carrying the full Config and pattern width, one
+// data frame with the code stream, and an explicit EOS frame. Unlike
+// Encode, the output is tamper-evident (per-region CRC32C) and
+// truncation-evident (missing EOS).
+func (r *Result) WriteWire(w io.Writer) error {
+	ww, err := wire.NewWriter(w, wire.Header{Cfg: r.Stream.Cfg, Width: r.Width})
+	if err != nil {
+		return err
+	}
+	if err := ww.WriteResult(r.Stream, r.Patterns); err != nil {
+		return err
+	}
+	return ww.Close()
+}
+
+// EncodeWire renders the Result as one in-memory wire container.
+func (r *Result) EncodeWire() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := r.WriteWire(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteWireSharded streams a sharded compression as one container with
+// a frame per shard. Each frame is independently decompressible (a
+// frame boundary is a FullReset), so a streaming reader can decompress
+// shard by shard in constant memory.
+func WriteWireSharded(w io.Writer, s *ShardedResult) error {
+	ww, err := wire.NewWriter(w, wire.Header{Cfg: s.Cfg, Width: s.Width})
+	if err != nil {
+		return err
+	}
+	for i, sh := range s.Shards {
+		if err := ww.WriteResult(sh, s.ShardPatterns[i]); err != nil {
+			return err
+		}
+	}
+	return ww.Close()
+}
+
+// ReadWireResult parses a single-frame wire container back into a
+// Result. Multi-frame (sharded) containers are rejected — their frames
+// have independent dictionary states and cannot merge into one code
+// stream; use DecompressWire for those.
+func ReadWireResult(r io.Reader) (*Result, error) {
+	wr, err := wire.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	hdr := wr.Header()
+	f, err := wr.ReadFrame()
+	if err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("lzwtc: wire container has no data frames")
+		}
+		return nil, err
+	}
+	if _, err := wr.ReadFrame(); err != io.EOF {
+		if err == nil {
+			return nil, fmt.Errorf("lzwtc: wire container has multiple frames; use DecompressWire")
+		}
+		return nil, err
+	}
+	res := &core.Result{Cfg: hdr.Cfg, Codes: f.Codes, InputBits: f.InputBits}
+	res.Stats.InputBits = f.InputBits
+	res.Stats.CodesEmitted = len(f.Codes)
+	res.Stats.CompressedBits = len(f.Codes) * hdr.Cfg.CodeBits()
+	return &Result{
+		Stream:       res,
+		Width:        hdr.Width,
+		OriginalBits: hdr.Width * f.Patterns,
+		Patterns:     f.Patterns,
+	}, nil
+}
+
+// DecodeWireResult is ReadWireResult over an in-memory container.
+func DecodeWireResult(data []byte) (*Result, error) {
+	return ReadWireResult(bytes.NewReader(data))
+}
+
+// DecompressWire streams any wire container — single-frame or sharded —
+// into the fully specified test set, decompressing frame by frame. The
+// whole container is verified: a corrupt or truncated stream returns a
+// typed error before (or instead of) partial output.
+func DecompressWire(r io.Reader) (*TestSet, error) {
+	wr, err := wire.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	hdr := wr.Header()
+	out := NewTestSet(hdr.Width)
+	for {
+		f, err := wr.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		stream, err := core.Decompress(f.Codes, hdr.Cfg, f.InputBits)
+		if err != nil {
+			return nil, fmt.Errorf("lzwtc: wire frame %d: %w", wr.Frames()-1, err)
+		}
+		group, err := bitvec.DeserializeAligned(stream, hdr.Width, hdr.Cfg.CharBits)
+		if err != nil {
+			return nil, fmt.Errorf("lzwtc: wire frame %d: %w", wr.Frames()-1, err)
+		}
+		if len(group.Cubes) != f.Patterns {
+			return nil, fmt.Errorf("lzwtc: wire frame %d decompressed to %d patterns, want %d",
+				wr.Frames()-1, len(group.Cubes), f.Patterns)
+		}
+		out.Cubes = append(out.Cubes, group.Cubes...)
+	}
+	return out, nil
+}
