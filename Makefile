@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 
-.PHONY: build vet test race lzwtcvet dict-oracle fuzz telemetry-overhead batch-bench bench-json bench-gate cover lzwtcd-smoke verify
+.PHONY: build vet vet-concurrency test race lzwtcvet lzwtcvet-baseline dict-oracle fuzz telemetry-overhead batch-bench bench-json bench-gate cover lzwtcd-smoke verify
 
 build:
 	$(GO) build ./...
@@ -19,9 +19,22 @@ race:
 	$(GO) test -race ./internal/...
 
 # Repo-specific static analysis (bitwidth / droppederror / panicpolicy /
-# configbeforeuse). Non-zero exit on any finding.
+# configbeforeuse / allocbound / goctx / lockhygiene / metricname /
+# staleignore). Non-zero exit on any finding.
 lzwtcvet:
 	$(GO) run ./cmd/lzwtcvet ./...
+
+# Baseline gate: fail only on findings absent from the committed
+# lzwtcvet_baseline.json ledger; stale ledger entries warn on stderr.
+lzwtcvet-baseline:
+	sh scripts/check_vet_baseline.sh
+
+# Focused pass over the two stock analyzers the lzwtcvet concurrency
+# checks complement: copylocks (mutexes passed by value anywhere, not
+# just in LockPaths) and lostcancel (path-sensitive cancel-func leaks
+# that goctx's any-mention heuristic deliberately leaves to vet).
+vet-concurrency:
+	$(GO) vet -copylocks -lostcancel ./...
 
 # Differential dictionary oracle: under this build tag every dict keeps
 # the historical map-based matcher as a shadow and cross-checks every
@@ -74,4 +87,4 @@ bench-json:
 bench-gate:
 	$(GO) run ./cmd/benchgen -bench -benchtime=1s -check BENCH_4.json -tolerance=0.10
 
-verify: build vet test race lzwtcvet dict-oracle fuzz telemetry-overhead batch-bench cover lzwtcd-smoke
+verify: build vet vet-concurrency test race lzwtcvet lzwtcvet-baseline dict-oracle fuzz telemetry-overhead batch-bench cover lzwtcd-smoke

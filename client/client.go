@@ -37,6 +37,10 @@ type Options struct {
 	Backoff time.Duration
 	// MaxBackoff caps the delay growth; <= 0 means 2s.
 	MaxBackoff time.Duration
+	// MaxResponseBytes caps how much of a response body Compress and
+	// Metrics will buffer; a larger body is an error, not an unbounded
+	// allocation. <= 0 means 1 GiB.
+	MaxResponseBytes int64
 }
 
 // Client talks to one lzwtcd instance.
@@ -60,6 +64,9 @@ func New(baseURL string, opts Options) *Client {
 	}
 	if opts.MaxBackoff <= 0 {
 		opts.MaxBackoff = 2 * time.Second
+	}
+	if opts.MaxResponseBytes <= 0 {
+		opts.MaxResponseBytes = 1 << 30
 	}
 	return &Client{base: strings.TrimRight(baseURL, "/"), http: opts.HTTPClient, opts: opts}
 }
@@ -103,10 +110,12 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
 		if attempt > 0 {
+			timer := time.NewTimer(delay)
 			select {
 			case <-ctx.Done():
+				timer.Stop()
 				return nil, ctx.Err()
-			case <-time.After(delay):
+			case <-timer.C:
 			}
 			delay *= 2
 			if delay > c.opts.MaxBackoff {
@@ -144,7 +153,11 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 func decodeAPIError(resp *http.Response) error {
 	defer resp.Body.Close() //nolint:errcheck // error body already read
 	var envelope server.ErrorBody
-	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16)) //nolint:errcheck // partial body still renders
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return &APIError{Status: resp.StatusCode, Code: "unreadable_body",
+			Message: fmt.Sprintf("reading error body: %v", err)}
+	}
 	if err := json.Unmarshal(data, &envelope); err != nil || envelope.Error.Code == "" {
 		return &APIError{Status: resp.StatusCode, Code: "unknown", Message: strings.TrimSpace(string(data))}
 	}
@@ -174,7 +187,22 @@ func (c *Client) Compress(ctx context.Context, ts *lzwtc.TestSet, cfg lzwtc.Conf
 		return nil, err
 	}
 	defer resp.Body.Close() //nolint:errcheck // fully drained below
-	return io.ReadAll(resp.Body)
+	return c.readBounded(resp.Body)
+}
+
+// readBounded buffers r up to Options.MaxResponseBytes and errors
+// loudly past it: a misbehaving (or impersonated) service must not be
+// able to grow the client's heap without limit.
+func (c *Client) readBounded(r io.Reader) ([]byte, error) {
+	limit := c.opts.MaxResponseBytes
+	data, err := io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > limit {
+		return nil, fmt.Errorf("lzwtcd: response body exceeds the %d-byte client cap; raise Options.MaxResponseBytes if intended", limit)
+	}
+	return data, nil
 }
 
 // CompressResult is Compress followed by a local decode into a Result.
@@ -220,7 +248,7 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 		return "", err
 	}
 	defer resp.Body.Close() //nolint:errcheck // fully drained below
-	data, err := io.ReadAll(resp.Body)
+	data, err := c.readBounded(resp.Body)
 	return string(data), err
 }
 

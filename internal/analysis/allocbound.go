@@ -1,0 +1,269 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// allocBoundCheck taints attacker-influenced integers (decode-helper
+// parameters arriving next to raw payload bytes, values decoded from an
+// io.Reader, HTTP query parameters) and reports any allocation sized by
+// one before a dominating bound check: `make` with a tainted size, a
+// configured allocation constructor (bitvec.New) with a tainted
+// argument, and `io.ReadAll` over a reader that is not length-limited.
+// The dataflow engine in dataflow.go supplies the taint/bound lattice.
+type allocBoundCheck struct{}
+
+func (allocBoundCheck) Name() string { return "allocbound" }
+func (allocBoundCheck) Doc() string {
+	return "allocations in hostile-input packages (make, configured constructors, io.ReadAll) must not be sized by untrusted input without a dominating bound check or invariant guard"
+}
+
+func (c allocBoundCheck) Run(cfg *Config, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	seen := map[string]bool{} // pos+message dedupe across branch re-walks
+	report := func(pkg *Package, pos ast.Node, msg string) {
+		p := pkg.Fset.Position(pos.Pos())
+		key := p.String() + msg
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		diags = append(diags, Diagnostic{Pos: p, Check: "allocbound", Message: msg})
+	}
+	for _, pkg := range pkgs {
+		if !matchPath(pkg.Path, cfg.AllocBoundPaths) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				c.runFunc(cfg, pkg, fn, report)
+			}
+		}
+	}
+	return diags
+}
+
+func (allocBoundCheck) runFunc(cfg *Config, pkg *Package, fn *ast.FuncDecl, report func(*Package, ast.Node, string)) {
+	w := &flowWalker{pkg: pkg}
+	limited := limitedReaderVars(pkg, fn)
+	w.fns = flowFuncs{
+		seed: func(call *ast.CallExpr) bool {
+			return untrustedSourceCall(pkg, call)
+		},
+		guard: func(call *ast.CallExpr) bool {
+			callee := calleeFunc(pkg.Info, call.Fun)
+			if callee == nil {
+				return false
+			}
+			full := callee.FullName()
+			return matchName(full, cfg.AllocGuards) || hasSuffixName(full, cfg.AllocGuards)
+		},
+		sink: func(e ast.Expr, st *taintState) {
+			call, ok := e.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			// make([]T, n[, c]) with a tainted size or capacity.
+			if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "make" {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					for _, sz := range call.Args[1:] {
+						if w.exprTainted(sz, st) {
+							report(pkg, sz, "make size "+exprString(sz)+
+								" derives from untrusted input without a dominating bound check")
+						}
+					}
+				}
+				return
+			}
+			callee := calleeFunc(pkg.Info, call.Fun)
+			if callee == nil {
+				return
+			}
+			full := callee.FullName()
+			// Configured allocation constructors (bitvec.New, ...).
+			if matchName(full, cfg.AllocSinks) || hasSuffixName(full, cfg.AllocSinks) {
+				for _, a := range call.Args {
+					if w.exprTainted(a, st) {
+						report(pkg, a, callee.Name()+" argument "+exprString(a)+
+							" derives from untrusted input without a dominating bound check")
+					}
+				}
+				return
+			}
+			// io.ReadAll over an unlimited reader buffers an
+			// attacker-chosen number of bytes.
+			if full == "io.ReadAll" && len(call.Args) == 1 {
+				if !readerIsLimited(pkg, call.Args[0], limited) {
+					report(pkg, call, "io.ReadAll over unlimited reader "+exprString(call.Args[0])+
+						"; wrap it in io.LimitReader or http.MaxBytesReader")
+				}
+			}
+		},
+	}
+	w.walkFunc(fn, untrustedIntParams(pkg, fn))
+}
+
+// untrustedIntParams seeds parameter taint: when a function receives
+// raw payload bytes (a []byte or an io.Reader-shaped parameter), its
+// integer parameters are treated as decoded header fields — the
+// decode-helper shape (`unpackCodes(data []byte, n, cb int)`).
+func untrustedIntParams(pkg *Package, fn *ast.FuncDecl) []*types.Var {
+	if fn.Type.Params == nil {
+		return nil
+	}
+	hasPayload := false
+	var ints []*types.Var
+	for _, field := range fn.Type.Params.List {
+		t := pkg.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if isPayloadType(t) {
+			hasPayload = true
+		}
+		if basic, ok := t.Underlying().(*types.Basic); ok && basic.Info()&types.IsInteger != 0 {
+			for _, name := range field.Names {
+				if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+					ints = append(ints, v)
+				}
+			}
+		}
+	}
+	if !hasPayload {
+		return nil
+	}
+	return ints
+}
+
+// isPayloadType reports whether t carries raw untrusted input: []byte
+// or anything Reader-shaped (the io.Reader interface or a named
+// *Reader like bufio.Reader).
+func isPayloadType(t types.Type) bool {
+	if sl, ok := t.Underlying().(*types.Slice); ok {
+		if b, ok := sl.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Byte {
+			return true
+		}
+	}
+	return isReaderType(t)
+}
+
+func isReaderType(t types.Type) bool {
+	if iface, ok := t.Underlying().(*types.Interface); ok {
+		for i := 0; i < iface.NumMethods(); i++ {
+			if iface.Method(i).Name() == "Read" {
+				return true
+			}
+		}
+		return false
+	}
+	if n := typeNamed(t); n != nil {
+		return n.Obj().Name() == "Reader"
+	}
+	return false
+}
+
+// untrustedSourceCall reports whether a call's results are untrusted:
+// varint decoders, HTTP query parameter accessors, and in-module
+// helpers that read integers out of a Reader.
+func untrustedSourceCall(pkg *Package, call *ast.CallExpr) bool {
+	callee := calleeFunc(pkg.Info, call.Fun)
+	if callee == nil {
+		return false
+	}
+	switch callee.FullName() {
+	case "encoding/binary.ReadUvarint", "encoding/binary.ReadVarint",
+		"(net/url.Values).Get", "(*net/http.Request).FormValue", "(*net/http.Request).PostFormValue":
+		return true
+	}
+	// An in-module helper taking a Reader and returning an integer is a
+	// header-field decoder (readUvarint shape): its result is whatever
+	// the wire said.
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || callee.Pkg() == nil || callee.Pkg().Path() == "" {
+		return false
+	}
+	readerParam := false
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isReaderType(sig.Params().At(i).Type()) {
+			readerParam = true
+			break
+		}
+	}
+	if !readerParam {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if basic, ok := sig.Results().At(i).Type().Underlying().(*types.Basic); ok &&
+			basic.Info()&types.IsInteger != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// limitedReaderVars collects local variables assigned from a
+// length-limiting reader constructor anywhere in fn.
+func limitedReaderVars(pkg *Package, fn *ast.FuncDecl) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isLimitingCall(pkg, call) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+					out[v] = true
+				} else if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+					out[v] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isLimitingCall(pkg *Package, call *ast.CallExpr) bool {
+	callee := calleeFunc(pkg.Info, call.Fun)
+	if callee == nil {
+		return false
+	}
+	switch callee.FullName() {
+	case "io.LimitReader", "net/http.MaxBytesReader":
+		return true
+	}
+	return false
+}
+
+// readerIsLimited reports whether the argument to io.ReadAll is
+// provably length-limited: a direct io.LimitReader /
+// http.MaxBytesReader call, a variable assigned from one, or an
+// *io.LimitedReader value.
+func readerIsLimited(pkg *Package, arg ast.Expr, limited map[*types.Var]bool) bool {
+	switch e := arg.(type) {
+	case *ast.ParenExpr:
+		return readerIsLimited(pkg, e.X, limited)
+	case *ast.CallExpr:
+		return isLimitingCall(pkg, e)
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[e].(*types.Var); ok && limited[v] {
+			return true
+		}
+	}
+	if n := typeNamed(pkg.Info.TypeOf(arg)); n != nil {
+		if n.Obj().Name() == "LimitedReader" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "io" {
+			return true
+		}
+	}
+	return false
+}

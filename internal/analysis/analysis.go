@@ -43,6 +43,10 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// TestFiles are the package's _test.go files (internal and
+	// external), parsed but NOT type-checked: the metricname check scans
+	// them syntactically to cross-check asserted metric names.
+	TestFiles []*ast.File
 }
 
 // Diagnostic is one finding.
@@ -97,6 +101,36 @@ type Config struct {
 	// silences nothing. Used for packages whose discipline must hold
 	// unconditionally (the telemetry layer sits on every hot path).
 	NoSuppressPaths []string
+
+	// AllocBoundPaths are the hostile-input packages where the
+	// allocbound dataflow check audits allocation sizes.
+	AllocBoundPaths []string
+	// AllocSinks are allocation constructors (by qualified-name suffix)
+	// whose arguments must be bounded before the call (bitvec.New).
+	AllocSinks []string
+	// AllocGuards are runtime bound guards the allocbound check credits:
+	// a call mentioning a tainted variable launders it.
+	AllocGuards []string
+	// GoctxPaths are the concurrent packages the goctx check audits.
+	GoctxPaths []string
+	// PoolPaths are packages owning goroutine lifecycle (the worker
+	// pool); `go` calls into them need no context of their own.
+	PoolPaths []string
+	// LockPaths are the packages the lockhygiene check audits.
+	LockPaths []string
+	// BlockingCalls are callees (full qualified names, * prefix
+	// patterns) treated as blocking I/O for the held-lock rule.
+	BlockingCalls []string
+	// TelemetryPaths identify the package(s) defining the metric
+	// Registry whose Counter/Gauge/Histogram calls metricname audits.
+	TelemetryPaths []string
+	// MetricNameAllow are sanctioned dynamic-metric-name constructors
+	// (PhaseMetricName); a registration through one is exempt from the
+	// string-constant rule.
+	MetricNameAllow []string
+	// MetricAssertPaths are packages whose registered metric names must
+	// each be asserted in that package's tests.
+	MetricAssertPaths []string
 }
 
 // DefaultConfig returns the configuration for this repository.
@@ -116,7 +150,7 @@ func DefaultConfig() Config {
 			"internal/lz77", "internal/rle", "internal/telemetry",
 			"internal/parallel",
 		},
-		StrictErrorPaths: []string{"lzwtc", "lzwtc/cmd/...", "lzwtc/examples/..."},
+		StrictErrorPaths: []string{"lzwtc", "lzwtc/cmd/...", "lzwtc/examples/...", "lzwtc/client"},
 		PanicAllowPaths:  []string{"internal/invariant"},
 		NoSuppressPaths:  []string{"internal/telemetry", "internal/parallel"},
 		ErrorExempt: []string{
@@ -125,6 +159,21 @@ func DefaultConfig() Config {
 			"(*strings.Builder).*",
 			"(*bytes.Buffer).*",
 		},
+		AllocBoundPaths: []string{"internal/wire", "internal/server", "lzwtc/client"},
+		AllocSinks:      []string{"internal/bitvec.New"},
+		AllocGuards:     []string{"internal/invariant.Width", "internal/invariant.Check"},
+		GoctxPaths:      []string{"internal/server", "internal/parallel", "lzwtc/client", "lzwtc/cmd/..."},
+		PoolPaths:       []string{"internal/parallel"},
+		LockPaths: []string{
+			"internal/bitio", "internal/core", "internal/decomp",
+			"internal/bitvec", "internal/compact", "internal/huffman",
+			"internal/lz77", "internal/rle", "internal/telemetry",
+			"internal/parallel", "internal/server", "lzwtc/client",
+		},
+		BlockingCalls:     []string{"(*net/http.Client).Do", "net/http.Get", "net/http.Post"},
+		TelemetryPaths:    []string{"internal/telemetry"},
+		MetricNameAllow:   []string{"internal/telemetry.PhaseMetricName"},
+		MetricAssertPaths: []string{"internal/server", "internal/parallel"},
 	}
 }
 
@@ -173,8 +222,25 @@ type Check interface {
 
 // Checks returns the full catalog in stable order.
 func Checks() []Check {
-	return []Check{bitwidthCheck{}, droppedErrorCheck{}, panicPolicyCheck{}, configBeforeUseCheck{}}
+	return []Check{
+		bitwidthCheck{}, droppedErrorCheck{}, panicPolicyCheck{}, configBeforeUseCheck{},
+		allocBoundCheck{}, goctxCheck{}, lockHygieneCheck{}, metricNameCheck{}, staleIgnoreCheck{},
+	}
 }
+
+// staleIgnoreCheck reports //lzwtcvet:ignore comments whose finding no
+// longer fires. It has no Run of its own: the detection happens inside
+// applySuppressions, which knows which suppression actually silenced
+// something during this run. A stale suppression is a hole someone will
+// eventually crawl back through, so it must be deleted (or the ledger
+// updated) the moment the underlying finding is fixed.
+type staleIgnoreCheck struct{}
+
+func (staleIgnoreCheck) Name() string { return "staleignore" }
+func (staleIgnoreCheck) Doc() string {
+	return "//lzwtcvet:ignore comments must still suppress a live finding; a suppression whose finding no longer fires is reported"
+}
+func (staleIgnoreCheck) Run(cfg *Config, pkgs []*Package) []Diagnostic { return nil }
 
 // Run executes the selected checks (all when names is empty) over pkgs
 // and returns surviving findings, sorted by position, with
@@ -196,10 +262,12 @@ func Run(cfg *Config, pkgs []*Package, names ...string) ([]Diagnostic, error) {
 		}
 	}
 	var diags []Diagnostic
+	selNames := map[string]bool{}
 	for _, c := range selected {
+		selNames[c.Name()] = true
 		diags = append(diags, c.Run(cfg, pkgs)...)
 	}
-	diags = applySuppressions(cfg, pkgs, diags)
+	diags = applySuppressions(cfg, pkgs, diags, selNames, len(names) == 0)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -226,9 +294,13 @@ type suppressionKey struct {
 // applySuppressions drops diagnostics covered by an
 // //lzwtcvet:ignore comment on the same line or the line above. In
 // packages matching cfg.NoSuppressPaths the comment silences nothing
-// and is instead reported as a "nosuppress" finding.
-func applySuppressions(cfg *Config, pkgs []*Package, diags []Diagnostic) []Diagnostic {
+// and is instead reported as a "nosuppress" finding. When the
+// staleignore check is selected, a suppression that silenced nothing —
+// and whose named check actually ran (or "all" during a full run) — is
+// reported as stale at the comment's position.
+func applySuppressions(cfg *Config, pkgs []*Package, diags []Diagnostic, selected map[string]bool, fullRun bool) []Diagnostic {
 	sup := map[suppressionKey]bool{}
+	supPos := map[suppressionKey]token.Position{}
 	for _, pkg := range pkgs {
 		noSuppress := matchPath(pkg.Path, cfg.NoSuppressPaths)
 		for _, f := range pkg.Files {
@@ -254,7 +326,9 @@ func applySuppressions(cfg *Config, pkgs []*Package, diags []Diagnostic) []Diagn
 						continue
 					}
 					for _, name := range strings.Split(fields[0], ",") {
-						sup[suppressionKey{pos.Filename, pos.Line, name}] = true
+						key := suppressionKey{pos.Filename, pos.Line, name}
+						sup[key] = true
+						supPos[key] = pos
 					}
 				}
 			}
@@ -263,18 +337,46 @@ func applySuppressions(cfg *Config, pkgs []*Package, diags []Diagnostic) []Diagn
 	if len(sup) == 0 {
 		return diags
 	}
+	used := map[suppressionKey]bool{}
 	kept := diags[:0]
 	for _, d := range diags {
 		suppressed := false
 		for _, name := range []string{d.Check, "all"} {
-			if sup[suppressionKey{d.Pos.Filename, d.Pos.Line, name}] ||
-				sup[suppressionKey{d.Pos.Filename, d.Pos.Line - 1, name}] {
-				suppressed = true
+			for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+				key := suppressionKey{d.Pos.Filename, line, name}
+				if sup[key] {
+					used[key] = true
+					suppressed = true
+				}
+			}
+			if suppressed {
 				break
 			}
 		}
 		if !suppressed {
 			kept = append(kept, d)
+		}
+	}
+	if selected["staleignore"] {
+		for key, pos := range supPos {
+			if used[key] {
+				continue
+			}
+			// Only judge a suppression whose check actually ran this
+			// invocation: an "all" suppression is verdict-worthy only on
+			// a full-catalog run.
+			if key.check == "all" {
+				if !fullRun {
+					continue
+				}
+			} else if !selected[key.check] {
+				continue
+			}
+			kept = append(kept, Diagnostic{
+				Pos:     pos,
+				Check:   "staleignore",
+				Message: fmt.Sprintf("stale lzwtcvet:ignore: no %s finding fires here anymore; delete the comment and its ledger entry", key.check),
+			})
 		}
 	}
 	return kept

@@ -88,6 +88,16 @@ func testConfig() *analysis.Config {
 		PanicAllowPaths:  []string{"test/internal/invariant"},
 		ErrorExempt:      []string{"test/internal/lib.NeverFails"},
 		NoSuppressPaths:  []string{"test/internal/nosup"},
+
+		AllocBoundPaths:   []string{"test/internal/hostile"},
+		AllocSinks:        []string{"test/internal/bitvec.New"},
+		AllocGuards:       []string{"test/internal/invariant.Check", "test/internal/invariant.Width"},
+		GoctxPaths:        []string{"test/internal/conc"},
+		PoolPaths:         []string{"test/internal/pool"},
+		LockPaths:         []string{"test/internal/locky"},
+		TelemetryPaths:    []string{"test/internal/telem"},
+		MetricNameAllow:   []string{"test/internal/telem.Dyn"},
+		MetricAssertPaths: []string{"test/internal/metrics"},
 	}
 }
 
@@ -108,6 +118,8 @@ func (r *Reader) ReadBits(n int) (uint64, error) { return 0, nil }
 func Width(n int) int { return n }
 
 func Must(err error) {}
+
+func Check(cond bool, format string, args ...any) {}
 `
 	coreSrc = `package core
 
@@ -471,7 +483,10 @@ func TestDiagnosticString(t *testing.T) {
 }
 
 func TestChecksCatalog(t *testing.T) {
-	want := []string{"bitwidth", "droppederror", "panicpolicy", "configbeforeuse"}
+	want := []string{
+		"bitwidth", "droppederror", "panicpolicy", "configbeforeuse",
+		"allocbound", "goctx", "lockhygiene", "metricname", "staleignore",
+	}
 	checks := analysis.Checks()
 	if len(checks) != len(want) {
 		t.Fatalf("catalog has %d checks, want %d", len(checks), len(want))

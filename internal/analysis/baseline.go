@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The baseline machinery lets CI fail on *new* findings while a
+// reviewed ledger of accepted ones stays in the repository. A finding's
+// identity is (file, check, message) — line and column are recorded for
+// display but ignored when matching, so unrelated edits that shift a
+// file do not invalidate the baseline.
+
+// JSONFinding is the machine-readable form of one Diagnostic, with the
+// file path made repo-relative so the baseline is stable across
+// checkouts.
+type JSONFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// ToJSON converts diagnostics, relativizing filenames against root.
+func ToJSON(root string, diags []Diagnostic) []JSONFinding {
+	out := make([]JSONFinding, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		out = append(out, JSONFinding{
+			File:    file,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Check:   d.Check,
+			Message: d.Message,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// WriteJSON renders findings as an indented JSON array (always an
+// array, never null, so empty baselines diff cleanly).
+func WriteJSON(w io.Writer, fs []JSONFinding) error {
+	if fs == nil {
+		fs = []JSONFinding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fs)
+}
+
+// LoadBaseline reads a baseline file written by WriteJSON.
+func LoadBaseline(path string) ([]JSONFinding, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading baseline: %v", err)
+	}
+	var fs []JSONFinding
+	if err := json.Unmarshal(data, &fs); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %v", path, err)
+	}
+	return fs, nil
+}
+
+// baselineKey is the identity under which findings are matched.
+func baselineKey(f JSONFinding) string {
+	return f.File + "\x00" + f.Check + "\x00" + f.Message
+}
+
+// DiffBaseline splits the current findings against a baseline:
+// newFindings are current-but-not-accepted (CI must fail), stale are
+// accepted-but-no-longer-firing (the baseline needs pruning).
+func DiffBaseline(current, baseline []JSONFinding) (newFindings, stale []JSONFinding) {
+	accepted := map[string]bool{}
+	for _, f := range baseline {
+		accepted[baselineKey(f)] = true
+	}
+	firing := map[string]bool{}
+	for _, f := range current {
+		firing[baselineKey(f)] = true
+		if !accepted[baselineKey(f)] {
+			newFindings = append(newFindings, f)
+		}
+	}
+	for _, f := range baseline {
+		if !firing[baselineKey(f)] {
+			stale = append(stale, f)
+		}
+	}
+	return newFindings, stale
+}

@@ -1,0 +1,532 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the function-local dataflow engine backing the
+// hostile-input checks (allocbound primarily). It tracks, per local
+// variable, a two-point taint lattice:
+//
+//	untainted  ⊑  tainted
+//
+// with a third derived fact, "bounded": a tainted variable becomes
+// bounded (and drops back to untainted for sink purposes) once control
+// flow passes a dominating upper-bound guard on it — either a rejecting
+// comparison (`if x > Max { return ... }`) or an accepting one that
+// encloses the use (`if x <= Max { ... use ... }`), or a call to a
+// configured runtime guard function mentioning the variable.
+//
+// The walk is deliberately function-local and statement-ordered: it
+// follows the lexical structure of one function body, clones state into
+// branches, and re-joins by unioning taint. Loops are walked once (a
+// taint introduced late in a loop body is not seen by earlier
+// statements of the next iteration); this under-approximates loops but
+// is exact for the decode-shaped code the checks target, where lengths
+// are read, checked and then consumed in straight-line order. The
+// deliberate scope (and the places the approximation is visible) is
+// documented in DESIGN.md §12.
+
+// taintState is the per-program-point lattice value of the walk: the
+// set of tainted (attacker-influenced, unbounded) variables.
+type taintState struct {
+	tainted map[*types.Var]bool
+}
+
+func newTaintState() *taintState {
+	return &taintState{tainted: map[*types.Var]bool{}}
+}
+
+// clone copies the state for a branch.
+func (s *taintState) clone() *taintState {
+	c := newTaintState()
+	for v := range s.tainted {
+		c.tainted[v] = true
+	}
+	return c
+}
+
+// absorb unions another state's taint into this one (branch join).
+func (s *taintState) absorb(o *taintState) {
+	for v := range o.tainted {
+		s.tainted[v] = true
+	}
+}
+
+// taint marks v attacker-influenced.
+func (s *taintState) taint(v *types.Var) { s.tainted[v] = true }
+
+// bound clears v's taint: a dominating guard has been passed.
+func (s *taintState) bound(v *types.Var) { delete(s.tainted, v) }
+
+// flowFuncs are the callbacks a check plugs into the walk.
+type flowFuncs struct {
+	// seed reports whether the result(s) of call are tainted at their
+	// definition (an untrusted source).
+	seed func(call *ast.CallExpr) bool
+	// guard reports whether a call statement is a sanctioned runtime
+	// bound guard; every variable mentioned in its arguments becomes
+	// bounded.
+	guard func(call *ast.CallExpr) bool
+	// sink is invoked at every expression with the state in effect
+	// there; checks inspect the expression for their sinks.
+	sink func(e ast.Expr, s *taintState)
+}
+
+// flowWalker drives the statement-ordered abstract interpretation of
+// one function body.
+type flowWalker struct {
+	pkg *Package
+	fns flowFuncs
+}
+
+// walkFunc runs the analysis over one function declaration, seeding
+// parameter taint from seedParams.
+func (w *flowWalker) walkFunc(fn *ast.FuncDecl, seedParams []*types.Var) {
+	st := newTaintState()
+	for _, v := range seedParams {
+		st.taint(v)
+	}
+	w.walkStmts(fn.Body.List, st)
+}
+
+// localVar resolves an expression to the local variable it names, or
+// nil. &x and (x) unwrap; anything else (fields, indexes of
+// non-identifiers) is opaque.
+func (w *flowWalker) localVar(e ast.Expr) *types.Var {
+	for {
+		switch ee := e.(type) {
+		case *ast.ParenExpr:
+			e = ee.X
+		case *ast.IndexExpr:
+			// arr[i]: taint facts are tracked per whole variable.
+			e = ee.X
+		default:
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				return nil
+			}
+			if v, ok := w.pkg.Info.Uses[id].(*types.Var); ok {
+				return v
+			}
+			if v, ok := w.pkg.Info.Defs[id].(*types.Var); ok {
+				return v
+			}
+			return nil
+		}
+	}
+}
+
+// exprTainted reports whether any tainted variable occurs in e, also
+// treating seed calls inside e as taint.
+func (w *flowWalker) exprTainted(e ast.Expr, st *taintState) bool {
+	tainted := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if tainted {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if v, ok := w.pkg.Info.Uses[n].(*types.Var); ok && st.tainted[v] {
+				tainted = true
+			}
+		case *ast.CallExpr:
+			if w.fns.guard != nil && w.fns.guard(n) {
+				// A guard call's result is bounded by construction
+				// (invariant.Width style).
+				return false
+			}
+			if w.fns.seed != nil && w.fns.seed(n) {
+				tainted = true
+				return false
+			}
+			// A call propagates taint when any argument is tainted
+			// (conservative: the callee may return a derived length).
+			for _, a := range n.Args {
+				if w.exprTainted(a, st) {
+					tainted = true
+					return false
+				}
+			}
+			return false // args handled above
+		case *ast.FuncLit:
+			return false // separate frame; goctx handles literals
+		}
+		return true
+	})
+	return tainted
+}
+
+// visitExpr runs the sink callback and descends into sub-expressions.
+func (w *flowWalker) visitExpr(e ast.Expr, st *taintState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if ex, ok := n.(ast.Expr); ok && w.fns.sink != nil {
+			w.fns.sink(ex, st)
+		}
+		return true
+	})
+}
+
+// walkStmts interprets a statement list in order, mutating st.
+func (w *flowWalker) walkStmts(stmts []ast.Stmt, st *taintState) {
+	for _, s := range stmts {
+		w.walkStmt(s, st)
+	}
+}
+
+func (w *flowWalker) walkStmt(s ast.Stmt, st *taintState) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.visitExpr(rhs, st)
+		}
+		w.applyAssign(s, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, val := range vs.Values {
+					w.visitExpr(val, st)
+				}
+				for i, name := range vs.Names {
+					v, ok := w.pkg.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if i < len(vs.Values) && w.exprTainted(vs.Values[i], st) {
+						st.taint(v)
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		w.visitExpr(s.X, st)
+		if call, ok := s.X.(*ast.CallExpr); ok && w.fns.guard != nil && w.fns.guard(call) {
+			for _, a := range call.Args {
+				w.boundMentioned(a, st)
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.visitExpr(s.Cond, st)
+		upper, accept := condBounds(w, s.Cond)
+		thenSt := st.clone()
+		for _, v := range accept {
+			thenSt.bound(v)
+		}
+		w.walkStmts(s.Body.List, thenSt)
+		elseSt := st.clone()
+		if s.Else != nil {
+			w.walkStmt(s.Else, elseSt)
+		}
+		// Join: taint discovered in either branch survives.
+		st.absorb(thenSt)
+		st.absorb(elseSt)
+		// A rejecting guard (`if x > Max { return }`) bounds x for the
+		// rest of the enclosing block.
+		if terminates(s.Body) {
+			for _, v := range upper {
+				st.bound(v)
+			}
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.visitExpr(s.Cond, st)
+		body := st.clone()
+		w.walkStmts(s.Body.List, body)
+		if s.Post != nil {
+			w.walkStmt(s.Post, body)
+		}
+		st.absorb(body)
+	case *ast.RangeStmt:
+		w.visitExpr(s.X, st)
+		body := st.clone()
+		// Ranging over a tainted collection taints the loop variables.
+		if w.exprTainted(s.X, st) {
+			if v := w.localVar(s.Key); v != nil {
+				body.taint(v)
+			}
+			if v := w.localVar(s.Value); v != nil {
+				body.taint(v)
+			}
+		}
+		w.walkStmts(s.Body.List, body)
+		st.absorb(body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.visitExpr(s.Tag, st)
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			caseSt := st.clone()
+			w.walkStmts(cc.Body, caseSt)
+			st.absorb(caseSt)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			caseSt := st.clone()
+			w.walkStmts(cc.Body, caseSt)
+			st.absorb(caseSt)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			caseSt := st.clone()
+			if cc.Comm != nil {
+				w.walkStmt(cc.Comm, caseSt)
+			}
+			w.walkStmts(cc.Body, caseSt)
+			st.absorb(caseSt)
+		}
+	case *ast.BlockStmt:
+		inner := st.clone()
+		w.walkStmts(s.List, inner)
+		st.absorb(inner)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.visitExpr(r, st)
+		}
+	case *ast.DeferStmt:
+		w.visitExpr(s.Call, st)
+	case *ast.GoStmt:
+		w.visitExpr(s.Call, st)
+	case *ast.SendStmt:
+		w.visitExpr(s.Chan, st)
+		w.visitExpr(s.Value, st)
+	case *ast.IncDecStmt:
+		w.visitExpr(s.X, st)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, st)
+	}
+}
+
+// applyAssign transfers taint through an assignment.
+func (w *flowWalker) applyAssign(s *ast.AssignStmt, st *taintState) {
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		// Compound assignment (x += y): x stays whatever it was unless
+		// the RHS is tainted.
+		for i, lhs := range s.Lhs {
+			if i < len(s.Rhs) && w.exprTainted(s.Rhs[i], st) {
+				if v := w.localVar(lhs); v != nil {
+					st.taint(v)
+				}
+			}
+		}
+		return
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, lhs := range s.Lhs {
+			v := w.localVar(lhs)
+			if v == nil {
+				continue
+			}
+			if w.exprTainted(s.Rhs[i], st) {
+				st.taint(v)
+			} else if _, isIndex := lhs.(*ast.IndexExpr); !isIndex {
+				// Whole-variable overwrite with a clean value launders
+				// the taint; writing one element of a tainted array
+				// does not.
+				st.bound(v)
+			}
+		}
+		return
+	}
+	// Tuple assignment from one call: every LHS shares the call's taint.
+	if len(s.Rhs) == 1 {
+		t := w.exprTainted(s.Rhs[0], st)
+		for _, lhs := range s.Lhs {
+			if v := w.localVar(lhs); v != nil {
+				if t {
+					st.taint(v)
+				} else {
+					st.bound(v)
+				}
+			}
+		}
+	}
+}
+
+// boundMentioned bounds every variable occurring in e (a guard call's
+// argument).
+func (w *flowWalker) boundMentioned(e ast.Expr, st *taintState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := w.pkg.Info.Uses[id].(*types.Var); ok {
+				st.bound(v)
+			}
+		}
+		return true
+	})
+}
+
+// condBounds extracts bound facts from an if condition:
+//
+//	upper:  variables with an upper-bound *rejecting* comparison
+//	        (x > C, x >= C, or either side of an || chain) — bounded
+//	        after the if when the then-branch terminates;
+//	accept: variables with an *accepting* comparison (x < C, x <= C,
+//	        x == C, or both sides of an && chain) — bounded inside the
+//	        then-branch.
+//
+// The bound side must itself be untainted (a constant, len(...), or a
+// clean variable); comparing one tainted value against another proves
+// nothing.
+func condBounds(w *flowWalker, cond ast.Expr) (upper, accept []*types.Var) {
+	var scan func(e ast.Expr, orCtx, andCtx bool)
+	scan = func(e ast.Expr, orCtx, andCtx bool) {
+		switch e := e.(type) {
+		case *ast.ParenExpr:
+			scan(e.X, orCtx, andCtx)
+		case *ast.UnaryExpr:
+			if e.Op == token.NOT {
+				// !(x <= C): treat as rejecting x > C.
+				if v := cmpBound(w, e.X, token.LEQ, token.LSS, token.EQL); v != nil && orCtx {
+					upper = append(upper, v)
+				}
+			}
+		case *ast.BinaryExpr:
+			switch e.Op {
+			case token.LOR:
+				scan(e.X, orCtx, false)
+				scan(e.Y, orCtx, false)
+			case token.LAND:
+				scan(e.X, false, andCtx)
+				scan(e.Y, false, andCtx)
+			default:
+				if orCtx {
+					if v := cmpBound(w, e, token.GTR, token.GEQ, token.NEQ); v != nil {
+						upper = append(upper, v)
+					}
+				}
+				if andCtx {
+					if v := cmpBound(w, e, token.LSS, token.LEQ, token.EQL); v != nil {
+						accept = append(accept, v)
+					}
+				}
+			}
+		}
+	}
+	// The whole condition is both a one-element OR chain (reject form)
+	// and a one-element AND chain (accept form).
+	scan(cond, true, true)
+	return upper, accept
+}
+
+// cmpBound matches `v OP bound` (or the flipped `bound OP' v`) for the
+// given accepted operators and returns the bounded local variable, nil
+// when the comparison has a different shape or the bound side is not
+// clean.
+func cmpBound(w *flowWalker, e ast.Expr, ops ...token.Token) *types.Var {
+	be, ok := e.(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	match := func(op token.Token) bool {
+		for _, o := range ops {
+			if op == o {
+				return true
+			}
+		}
+		return false
+	}
+	flip := map[token.Token]token.Token{
+		token.LSS: token.GTR, token.GTR: token.LSS,
+		token.LEQ: token.GEQ, token.GEQ: token.LEQ,
+		token.EQL: token.EQL, token.NEQ: token.NEQ,
+	}
+	if v := w.localVar(be.X); v != nil && match(be.Op) && cleanBound(w, be.Y) {
+		return v
+	}
+	if v := w.localVar(be.Y); v != nil && match(flip[be.Op]) && cleanBound(w, be.X) {
+		return v
+	}
+	return nil
+}
+
+// cleanBound reports whether the bound side of a comparison is
+// trustworthy: a constant, a len/cap call, or any expression free of
+// obviously attacker-derived parts. (Taint on the bound side is checked
+// by the caller against the live state where needed; here constants and
+// len() cover the real code.)
+func cleanBound(w *flowWalker, e ast.Expr) bool {
+	if tv, ok := w.pkg.Info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+			if _, isBuiltin := w.pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+	}
+	// A plain identifier or selector (e.g. a config field) is accepted;
+	// composite arithmetic over them too. Only expressions containing a
+	// call (other than len/cap) are rejected as potentially tainted.
+	clean := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+				return false
+			}
+			clean = false
+			return false
+		}
+		return true
+	})
+	return clean
+}
+
+// terminates reports whether a block always leaves the enclosing scope:
+// its last statement is a return, a panic-shaped call, goto, or a
+// break/continue.
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Violatef", "Fatal", "Fatalf", "Exit":
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

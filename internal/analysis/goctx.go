@@ -1,0 +1,310 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// goctxCheck enforces goroutine and context hygiene in the concurrent
+// packages (GoctxPaths):
+//
+//   - a `go` statement must be cancellable or joined: its body
+//     references a context.Context (ctx, ctx.Done(), ctx.Err()), or it
+//     calls into a pool package (PoolPaths — internal/parallel owns
+//     lifecycle there), or it sends on a channel the enclosing function
+//     receives from (join evidence: the launcher cannot return without
+//     the goroutine finishing);
+//   - every context.WithCancel/WithTimeout/WithDeadline cancel func
+//     must be deferred, called, or escape (returned/stored/passed on) —
+//     discarding it as `_` or dropping it on the floor leaks the
+//     context's resources;
+//   - time.After inside a loop allocates an unreclaimable timer per
+//     iteration; use time.NewTimer or time.Ticker.
+type goctxCheck struct{}
+
+func (goctxCheck) Name() string { return "goctx" }
+func (goctxCheck) Doc() string {
+	return "goroutines in concurrent packages must observe a context.Context, be pool-launched, or be channel-joined; WithCancel/WithTimeout cancels must run; time.After is banned inside loops"
+}
+
+func (c goctxCheck) Run(cfg *Config, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if !matchPath(pkg.Path, cfg.GoctxPaths) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, frame := range frames(file) {
+				diags = append(diags, c.checkFrame(cfg, pkg, frame)...)
+			}
+		}
+	}
+	return diags
+}
+
+// frames enumerates every function body in the file: declarations plus
+// literals. Each is audited as its own scope.
+func frames(file *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				out = append(out, n.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// inspectFrame walks body without descending into nested function
+// literals (they are separate frames).
+func inspectFrame(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == body {
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+func (c goctxCheck) checkFrame(cfg *Config, pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	var diags []Diagnostic
+	report := func(n ast.Node, msg string) {
+		diags = append(diags, Diagnostic{Pos: pkg.Fset.Position(n.Pos()), Check: "goctx", Message: msg})
+	}
+	inspectFrame(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			c.checkGoStmt(cfg, pkg, body, n, report)
+		case *ast.AssignStmt:
+			c.checkWithCancel(pkg, body, n, report)
+		}
+		return true
+	})
+	c.checkTimeAfterLoops(pkg, body, report)
+	return diags
+}
+
+// checkGoStmt audits one `go` statement inside frame.
+func (c goctxCheck) checkGoStmt(cfg *Config, pkg *Package, frame *ast.BlockStmt, g *ast.GoStmt, report func(ast.Node, string)) {
+	lit, isLit := g.Call.Fun.(*ast.FuncLit)
+	if !isLit {
+		// go f(args...): cancellable when a context travels along, or
+		// when the callee lives in a pool package that owns lifecycle.
+		for _, a := range g.Call.Args {
+			if isContextType(pkg.Info.TypeOf(a)) {
+				return
+			}
+		}
+		if callee := calleeFunc(pkg.Info, g.Call.Fun); callee != nil && callee.Pkg() != nil &&
+			matchPath(callee.Pkg().Path(), cfg.PoolPaths) {
+			return
+		}
+		report(g, "goroutine "+exprString(g.Call.Fun)+" receives no context.Context and is not pool-launched; it cannot be cancelled")
+		return
+	}
+	// go func(){...}(): the body must observe a context...
+	if referencesContext(pkg, lit.Body) {
+		return
+	}
+	// ...or be joined: it sends on a channel the enclosing frame
+	// receives from, so the launcher blocks until the goroutine is done.
+	for ch := range sentChannels(pkg, lit.Body) {
+		if frameReceivesFrom(pkg, frame, ch) {
+			return
+		}
+	}
+	report(g, "goroutine observes no context.Context (no ctx/Done reference) and has no channel join with its launcher")
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n := typeNamed(t)
+	return n != nil && n.Obj().Name() == "Context" &&
+		n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "context"
+}
+
+// referencesContext reports whether any expression in body (including
+// nested literals — a helper closure watching ctx still counts) has
+// type context.Context.
+func referencesContext(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && isContextType(pkg.Info.TypeOf(e)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// sentChannels collects the channel variables body sends on.
+func sentChannels(pkg *Package, body *ast.BlockStmt) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		var ch ast.Expr
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			ch = n.Chan
+		case *ast.CallExpr:
+			// close(ch) is join evidence too: for-range over ch in the
+			// launcher terminates on it.
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) == 1 {
+					ch = n.Args[0]
+				}
+			}
+		}
+		if id, ok := ch.(*ast.Ident); ok {
+			if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+				out[v] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// frameReceivesFrom reports whether the frame (outside nested literals)
+// receives from channel variable ch: `<-ch`, a select comm case on it,
+// or `for range ch`.
+func frameReceivesFrom(pkg *Package, frame *ast.BlockStmt, ch *types.Var) bool {
+	isCh := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && pkg.Info.Uses[id] == ch
+	}
+	found := false
+	inspectFrame(frame, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && isCh(n.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isCh(n.X) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkWithCancel audits `ctx, cancel := context.WithX(...)` inside
+// frame: the cancel func must be deferred, called, or escape.
+func (c goctxCheck) checkWithCancel(pkg *Package, frame *ast.BlockStmt, as *ast.AssignStmt, report func(ast.Node, string)) {
+	if len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	callee := calleeFunc(pkg.Info, call.Fun)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "context" {
+		return
+	}
+	switch callee.Name() {
+	case "WithCancel", "WithTimeout", "WithDeadline", "WithCancelCause":
+	default:
+		return
+	}
+	cancelExpr := as.Lhs[1]
+	if id, ok := cancelExpr.(*ast.Ident); ok && id.Name == "_" {
+		report(cancelExpr, callee.Name()+" cancel function discarded as _; the context's resources leak until the parent ends")
+		return
+	}
+	id, ok := cancelExpr.(*ast.Ident)
+	if !ok {
+		return
+	}
+	cancel, _ := pkg.Info.Defs[id].(*types.Var)
+	if cancel == nil {
+		cancel, _ = pkg.Info.Uses[id].(*types.Var)
+	}
+	if cancel == nil {
+		return
+	}
+	// Any later mention — defer cancel(), a plain call, a return, a
+	// store — keeps the cancel reachable; go vet's lostcancel covers
+	// the remaining path-sensitivity. Only a cancel that is never
+	// mentioned again is reported here.
+	used := false
+	ast.Inspect(frame, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		uid, ok := n.(*ast.Ident)
+		if ok && uid != id && pkg.Info.Uses[uid] == cancel {
+			used = true
+		}
+		return true
+	})
+	if !used {
+		report(cancelExpr, callee.Name()+" cancel function "+id.Name+" is never called; defer it immediately")
+	}
+}
+
+// checkTimeAfterLoops reports time.After calls lexically inside a loop
+// of this frame.
+func (c goctxCheck) checkTimeAfterLoops(pkg *Package, frame *ast.BlockStmt, report func(ast.Node, string)) {
+	var walk func(n ast.Node, inLoop bool)
+	walkBody := func(list []ast.Stmt, inLoop bool, walk func(ast.Node, bool)) {
+		for _, s := range list {
+			walk(s, inLoop)
+		}
+	}
+	walk = func(n ast.Node, inLoop bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return // separate frame
+		case *ast.ForStmt:
+			walk(n.Init, inLoop)
+			walk(n.Cond, inLoop)
+			walk(n.Post, true)
+			walkBody(n.Body.List, true, walk)
+		case *ast.RangeStmt:
+			walk(n.X, inLoop)
+			walkBody(n.Body.List, true, walk)
+		case *ast.CallExpr:
+			if callee := calleeFunc(pkg.Info, n.Fun); callee != nil &&
+				callee.Pkg() != nil && callee.Pkg().Path() == "time" && callee.Name() == "After" && inLoop {
+				report(n, "time.After inside a loop allocates an uncollectable timer per iteration; use time.NewTimer or time.Ticker")
+			}
+			for _, a := range n.Args {
+				walk(a, inLoop)
+			}
+			walk(n.Fun, inLoop)
+		default:
+			// Generic traversal preserving the inLoop flag.
+			var children []ast.Node
+			ast.Inspect(n, func(m ast.Node) bool {
+				if m == n || m == nil {
+					return m == n
+				}
+				children = append(children, m)
+				return false
+			})
+			for _, ch := range children {
+				walk(ch, inLoop)
+			}
+		}
+	}
+	walkBody(frame.List, false, walk)
+}

@@ -19,14 +19,16 @@ import (
 // listedPackage is the subset of `go list -json` output the loader
 // consumes.
 type listedPackage struct {
-	ImportPath string
-	Dir        string
-	GoFiles    []string
-	Export     string
-	DepOnly    bool
-	Standard   bool
-	Module     *struct{ Path string }
-	Error      *struct{ Err string }
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Export       string
+	DepOnly      bool
+	Standard     bool
+	Module       *struct{ Path string }
+	Error        *struct{ Err string }
 }
 
 // Load enumerates packages with the go command, then parses and
@@ -40,7 +42,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 	args := append([]string{
 		"list", "-e", "-export", "-deps",
-		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard,Module,Error",
+		"-json=ImportPath,Dir,GoFiles,TestGoFiles,XTestGoFiles,Export,DepOnly,Standard,Module,Error",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -160,12 +162,25 @@ func (ld *loader) check(lp *listedPackage) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %v", lp.ImportPath, err)
 	}
+	// Test files are parsed but not type-checked: they exist so the
+	// metricname check can cross-check asserted names syntactically,
+	// without dragging test-only dependencies into the type-check.
+	var testFiles []*ast.File
+	for _, name := range append(append([]string{}, lp.TestGoFiles...), lp.XTestGoFiles...) {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(lp.Dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		testFiles = append(testFiles, f)
+	}
 	pkg := &Package{
-		Path:  lp.ImportPath,
-		Fset:  ld.fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+		Path:      lp.ImportPath,
+		Fset:      ld.fset,
+		Files:     files,
+		Types:     tpkg,
+		Info:      info,
+		TestFiles: testFiles,
 	}
 	ld.checked[lp.ImportPath] = pkg
 	return pkg, nil

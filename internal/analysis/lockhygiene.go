@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockHygieneCheck enforces mutex discipline in LockPaths packages:
+//
+//   - no mutex copies: a method on a type containing a sync.Mutex or
+//     sync.RWMutex must use a pointer receiver;
+//   - every Lock/RLock must have a matching Unlock/RUnlock on the same
+//     receiver in the same function (deferred or plain) — a function
+//     that locks and never unlocks deadlocks its next caller;
+//   - no lock held across a blocking operation: a channel send/receive,
+//     a select without default, or a configured blocking call (an HTTP
+//     round trip) between Lock and Unlock turns every other user of the
+//     mutex into a hostage of that I/O.
+type lockHygieneCheck struct{}
+
+func (lockHygieneCheck) Name() string { return "lockhygiene" }
+func (lockHygieneCheck) Doc() string {
+	return "no mutex copies (pointer receivers), no Lock without matching Unlock in-function, no lock held across channel ops or blocking calls"
+}
+
+func (c lockHygieneCheck) Run(cfg *Config, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if !matchPath(pkg.Path, cfg.LockPaths) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				diags = append(diags, checkReceiverCopiesLock(pkg, fn)...)
+			}
+			for _, frame := range frames(file) {
+				diags = append(diags, checkLockWindows(cfg, pkg, frame)...)
+			}
+		}
+	}
+	return diags
+}
+
+// checkReceiverCopiesLock flags value receivers on lock-bearing types.
+func checkReceiverCopiesLock(pkg *Package, fn *ast.FuncDecl) []Diagnostic {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return nil
+	}
+	recv := fn.Recv.List[0]
+	t := pkg.Info.TypeOf(recv.Type)
+	if t == nil {
+		return nil
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return nil
+	}
+	if !containsLock(t, map[types.Type]bool{}) {
+		return nil
+	}
+	return []Diagnostic{{
+		Pos:   pkg.Fset.Position(recv.Type.Pos()),
+		Check: "lockhygiene",
+		Message: "method " + fn.Name.Name + " has a value receiver on a type containing a sync mutex; " +
+			"each call copies the lock — use a pointer receiver",
+	}}
+}
+
+// containsLock reports whether t (transitively through struct fields,
+// embedded or named) contains a sync.Mutex or sync.RWMutex.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isMutexType(t) {
+		return true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if _, isPtr := ft.Underlying().(*types.Pointer); isPtr {
+			continue // a *Mutex field shares, it does not copy
+		}
+		if containsLock(ft, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+func isMutexType(t types.Type) bool {
+	n := typeNamed(t)
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	switch n.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return true
+	}
+	return false
+}
+
+// lockEvent is one mutex operation or blocking operation inside a
+// frame, in source order.
+type lockEvent struct {
+	pos  token.Pos
+	kind string // "lock", "unlock", "deferunlock", "block"
+	recv string // exprString of the mutex receiver; "" for block
+	op   string // method or blocking-op description
+}
+
+// checkLockWindows audits one function frame's Lock/Unlock pairing and
+// the operations performed while a lock is held.
+func checkLockWindows(cfg *Config, pkg *Package, frame *ast.BlockStmt) []Diagnostic {
+	var events []lockEvent
+	addMutexCall := func(call *ast.CallExpr, deferred bool) bool {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		name := sel.Sel.Name
+		switch name {
+		case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+		default:
+			return false
+		}
+		if !isMutexType(pkg.Info.TypeOf(sel.X)) {
+			return false
+		}
+		kind := "lock"
+		if name == "Unlock" || name == "RUnlock" {
+			kind = "unlock"
+			if deferred {
+				kind = "deferunlock"
+			}
+		} else if name == "TryLock" || name == "TryRLock" {
+			// TryLock's acquisition is conditional; pairing is audited
+			// only for unconditional locks.
+			return true
+		}
+		events = append(events, lockEvent{call.Pos(), kind, exprString(sel.X), name})
+		return true
+	}
+	inspectFrame(frame, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if addMutexCall(n.Call, true) {
+				return false
+			}
+			// defer func(){ ... mu.Unlock() ... }(): credit unlocks
+			// inside the deferred literal too.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						addMutexCall(call, true)
+					}
+					return true
+				})
+				return false
+			}
+		case *ast.CallExpr:
+			if addMutexCall(n, false) {
+				return false
+			}
+			if desc, ok := blockingCall(cfg, pkg, n); ok {
+				events = append(events, lockEvent{n.Pos(), "block", "", desc})
+			}
+		case *ast.SendStmt:
+			events = append(events, lockEvent{n.Pos(), "block", "", "channel send"})
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				events = append(events, lockEvent{n.Pos(), "block", "", "channel receive"})
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, cl := range n.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				events = append(events, lockEvent{n.Pos(), "block", "", "select"})
+			}
+			// The cases' own channel ops are part of the select; do not
+			// double-report them.
+			for _, cl := range n.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						ast.Inspect(s, func(m ast.Node) bool {
+							if call, ok := m.(*ast.CallExpr); ok {
+								if addMutexCall(call, false) {
+									return false
+								}
+							}
+							return true
+						})
+					}
+				}
+			}
+			return false
+		case *ast.RangeStmt:
+			if _, isChan := pkg.Info.TypeOf(n.X).Underlying().(*types.Chan); isChan {
+				events = append(events, lockEvent{n.Pos(), "block", "", "range over channel"})
+			}
+		}
+		return true
+	})
+
+	var diags []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		diags = append(diags, Diagnostic{Pos: pkg.Fset.Position(pos), Check: "lockhygiene", Message: msg})
+	}
+	for i, ev := range events {
+		if ev.kind != "lock" {
+			continue
+		}
+		// Pairing: any deferred unlock on the same receiver, or a plain
+		// unlock later in source order.
+		var unlockAt token.Pos
+		deferred := false
+		for _, other := range events {
+			if other.recv != ev.recv {
+				continue
+			}
+			if other.kind == "deferunlock" {
+				deferred = true
+			}
+			if other.kind == "unlock" && other.pos > ev.pos && (unlockAt == token.NoPos || other.pos < unlockAt) {
+				unlockAt = other.pos
+			}
+		}
+		if !deferred && unlockAt == token.NoPos {
+			report(ev.pos, ev.op+" on "+ev.recv+" with no matching unlock in this function; the next caller deadlocks")
+			continue
+		}
+		// Held-across-blocking: the window runs from the lock to the
+		// first plain unlock, or to the end of the frame when only a
+		// deferred unlock exists.
+		end := unlockAt
+		if end == token.NoPos {
+			end = frame.End()
+		}
+		for _, other := range events[i:] {
+			if other.kind == "block" && other.pos > ev.pos && other.pos < end {
+				report(other.pos, other.op+" while holding "+ev.recv+" (locked via "+ev.op+
+					"); release the lock before blocking")
+			}
+		}
+	}
+	return diags
+}
+
+// blockingCall reports whether call matches a configured blocking
+// callee (BlockingCalls, full qualified names with * prefix patterns).
+func blockingCall(cfg *Config, pkg *Package, call *ast.CallExpr) (string, bool) {
+	callee := calleeFunc(pkg.Info, call.Fun)
+	if callee == nil {
+		return "", false
+	}
+	full := callee.FullName()
+	if matchName(full, cfg.BlockingCalls) {
+		return "blocking call " + full, true
+	}
+	return "", false
+}

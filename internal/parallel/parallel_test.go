@@ -315,6 +315,35 @@ func TestPoolTelemetry(t *testing.T) {
 	if gauges[MetricQueueDepth] != 0 || gauges[MetricInFlight] != 0 {
 		t.Fatalf("queue/in-flight gauges did not drain: %v / %v", gauges[MetricQueueDepth], gauges[MetricInFlight])
 	}
+	if counters[MetricJobPanics] != 0 {
+		t.Fatalf("%s = %d, want 0 on a clean run", MetricJobPanics, counters[MetricJobPanics])
+	}
+}
+
+// TestPoolPanicTelemetry: a recovered worker panic must surface on the
+// panic counter, not vanish into the job-error count alone.
+func TestPoolPanicTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	rec := telemetry.New(reg)
+	items := []int{0, 1, 2, 3}
+	if _, err := Map(context.Background(), items, Options{Workers: 2, Policy: CollectAll, Recorder: rec},
+		func(_ context.Context, _ int, v int) (int, error) {
+			if v == 2 {
+				panic("boom")
+			}
+			return v, nil
+		}); err != nil {
+		t.Fatalf("collect-all: %v", err)
+	}
+	var got int64
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == MetricJobPanics {
+			got = c.Value
+		}
+	}
+	if got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricJobPanics, got)
+	}
 }
 
 func TestParsePolicy(t *testing.T) {

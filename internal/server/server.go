@@ -34,7 +34,9 @@ import (
 	"lzwtc/internal/telemetry"
 )
 
-// Metric names exported at /metrics.
+// Metric names exported at /metrics. Every name is a distinct package
+// const — never computed — so the lzwtcvet metricname check can audit
+// the full /metrics surface against the names the tests assert.
 const (
 	MetricRequests     = "lzwtcd_requests_total"
 	MetricErrors       = "lzwtcd_errors_total"
@@ -45,12 +47,16 @@ const (
 	MetricPatternsIn   = "lzwtcd_patterns_compressed_total"
 	MetricPatternsOut  = "lzwtcd_patterns_decompressed_total"
 	MetricDrainStarted = "lzwtcd_drain_started"
-)
 
-// requestMetric names the per-endpoint request counter.
-func requestMetric(endpoint string) string {
-	return "lzwtcd_" + endpoint + "_requests_total"
-}
+	// Per-endpoint request counters (the lzwtcd_<endpoint>_requests_total
+	// family handleStats folds back into its endpoint map).
+	MetricCompressRequests   = "lzwtcd_compress_requests_total"
+	MetricDecompressRequests = "lzwtcd_decompress_requests_total"
+	MetricStatsRequests      = "lzwtcd_stats_requests_total"
+	MetricHealthRequests     = "lzwtcd_healthz_requests_total"
+	MetricMetricsRequests    = "lzwtcd_metrics_requests_total"
+	MetricOtherRequests      = "lzwtcd_other_requests_total"
+)
 
 // latencyBuckets spans sub-millisecond cache hits to multi-second
 // sharded runs.
@@ -120,14 +126,21 @@ func New(cfg Config) *Server {
 		latency:     reg.Histogram(MetricLatency, "request latency in seconds", latencyBuckets()),
 		inFlightG:   reg.Gauge(MetricInFlight, "requests currently being served"),
 	}
-	s.mux.HandleFunc(PathCompress, s.instrument("compress", s.handleCompress))
-	s.mux.HandleFunc(PathDecompress, s.instrument("decompress", s.handleDecompress))
-	s.mux.HandleFunc(PathStats, s.instrument("stats", s.handleStats))
-	s.mux.HandleFunc(PathHealth, s.instrument("healthz", s.handleHealth))
-	s.mux.HandleFunc(PathMetrics, s.instrument("metrics", s.handleMetrics))
-	s.mux.HandleFunc("/", s.instrument("other", func(w http.ResponseWriter, r *http.Request) {
-		s.writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no such endpoint %s", r.URL.Path))
-	}))
+	s.mux.HandleFunc(PathCompress, s.instrument(
+		reg.Counter(MetricCompressRequests, "requests to compress"), s.handleCompress))
+	s.mux.HandleFunc(PathDecompress, s.instrument(
+		reg.Counter(MetricDecompressRequests, "requests to decompress"), s.handleDecompress))
+	s.mux.HandleFunc(PathStats, s.instrument(
+		reg.Counter(MetricStatsRequests, "requests to stats"), s.handleStats))
+	s.mux.HandleFunc(PathHealth, s.instrument(
+		reg.Counter(MetricHealthRequests, "requests to healthz"), s.handleHealth))
+	s.mux.HandleFunc(PathMetrics, s.instrument(
+		reg.Counter(MetricMetricsRequests, "requests to metrics"), s.handleMetrics))
+	s.mux.HandleFunc("/", s.instrument(
+		reg.Counter(MetricOtherRequests, "requests to unknown endpoints"),
+		func(w http.ResponseWriter, r *http.Request) {
+			s.writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no such endpoint %s", r.URL.Path))
+		}))
 	return s
 }
 
@@ -164,9 +177,10 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, drainTimeout time.D
 }
 
 // instrument wraps a handler with the request/error/latency/in-flight
-// accounting every endpoint shares.
-func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
-	perEndpoint := s.reg.Counter(requestMetric(endpoint), "requests to "+endpoint)
+// accounting every endpoint shares. The per-endpoint counter is
+// registered by the caller (New) under a package const, so every
+// exported name stays statically auditable.
+func (s *Server) instrument(perEndpoint *telemetry.Counter, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.requests.Inc()

@@ -280,9 +280,17 @@ func TestServiceStatsAndMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Every metric New registers must be present in the exposition: the
+	// lzwtcvet metricname check cross-references this list against the
+	// names the server package registers, so /metrics and dashboards
+	// cannot drift apart silently.
 	for _, want := range []string{
-		server.MetricRequests, server.MetricLatency, server.MetricInFlight,
-		"lzwtcd_compress_requests_total",
+		server.MetricRequests, server.MetricErrors, server.MetricLatency,
+		server.MetricInFlight, server.MetricBytesIn, server.MetricBytesOut,
+		server.MetricPatternsIn, server.MetricPatternsOut,
+		server.MetricCompressRequests, server.MetricDecompressRequests,
+		server.MetricStatsRequests, server.MetricHealthRequests,
+		server.MetricMetricsRequests, server.MetricOtherRequests,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Fatalf("metrics exposition missing %s", want)
@@ -438,5 +446,17 @@ func TestServiceGracefulDrain(t *testing.T) {
 	// The listener is closed: new connections must be refused.
 	if _, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
 		t.Fatal("listener still accepting after drain")
+	}
+
+	// The drain marker gauge must have been exported the moment the
+	// drain began.
+	drained := false
+	for _, g := range srv.Registry().Snapshot().Gauges {
+		if g.Name == server.MetricDrainStarted && g.Value == 1 {
+			drained = true
+		}
+	}
+	if !drained {
+		t.Fatalf("%s gauge not set after drain", server.MetricDrainStarted)
 	}
 }

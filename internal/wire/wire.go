@@ -170,9 +170,23 @@ func packCodes(codes []core.Code, cb int) []byte {
 	return out
 }
 
-// unpackCodes inverts packCodes; data must hold exactly n cb-bit codes
-// (plus zero padding to the byte boundary).
-func unpackCodes(data []byte, n, cb int) []core.Code {
+// unpackCodes inverts packCodes; data must hold at least n cb-bit codes
+// (plus zero padding to the byte boundary). n and cb arrive from the
+// decoded stream, so the bounds are re-checked here — the function must
+// stay safe even if a future caller forgets the frame-level limits: a
+// hostile count must produce a typed error, never a giant allocation or
+// an index panic.
+func unpackCodes(data []byte, n, cb int) ([]core.Code, error) {
+	if n < 0 || n > MaxFrameCodes {
+		return nil, fmt.Errorf("%w: code count %d", ErrLimit, n)
+	}
+	if cb <= 0 || cb > 64 {
+		return nil, fmt.Errorf("%w: code width %d", ErrLimit, cb)
+	}
+	if (n*cb+7)/8 > len(data) {
+		return nil, fmt.Errorf("%w: %d %d-bit codes need %d bytes, have %d",
+			ErrTruncated, n, cb, (n*cb+7)/8, len(data))
+	}
 	codes := make([]core.Code, n)
 	bitPos := 0
 	for i := range codes {
@@ -186,7 +200,7 @@ func unpackCodes(data []byte, n, cb int) []core.Code {
 		}
 		codes[i] = v
 	}
-	return codes
+	return codes, nil
 }
 
 // Writer streams a container to an io.Writer: header up front, one
@@ -434,10 +448,14 @@ func (r *Reader) readDataFrame(raw []byte) (*Frame, error) {
 	if err := checkCRC(r.r, raw, fmt.Sprintf("frame %d", r.frames)); err != nil {
 		return nil, err
 	}
+	codes, err := unpackCodes(payload.Bytes(), int(nCodes), r.cb)
+	if err != nil {
+		return nil, fmt.Errorf("frame %d: %w", r.frames, err)
+	}
 	f := &Frame{
 		Patterns:  int(patterns),
 		InputBits: int(inputBits),
-		Codes:     unpackCodes(payload.Bytes(), int(nCodes), r.cb),
+		Codes:     codes,
 	}
 	for i, c := range f.Codes {
 		if int(c) >= r.hdr.Cfg.DictSize {

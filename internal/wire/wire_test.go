@@ -334,10 +334,48 @@ func TestPackUnpackCodes(t *testing.T) {
 	if !bytes.Equal(packed, res.Pack()) {
 		t.Fatal("wire packing differs from core.Result.Pack")
 	}
-	back := unpackCodes(packed, len(res.Codes), cfg.CodeBits())
+	back, err := unpackCodes(packed, len(res.Codes), cfg.CodeBits())
+	if err != nil {
+		t.Fatalf("unpackCodes: %v", err)
+	}
 	for i := range back {
 		if back[i] != res.Codes[i] {
 			t.Fatalf("code %d: got %d, want %d", i, back[i], res.Codes[i])
 		}
+	}
+}
+
+// TestUnpackCodesHostileInputs pins the defensive bounds on the
+// code-region decoder: attacker-controlled counts and widths must yield
+// typed errors before any count-sized allocation happens, even if a
+// future caller forgets the frame-level limits.
+func TestUnpackCodesHostileInputs(t *testing.T) {
+	data := make([]byte, 16)
+	cases := []struct {
+		name string
+		n    int
+		cb   int
+		data []byte
+		want error
+	}{
+		{"negative count", -1, 12, data, ErrLimit},
+		{"count above MaxFrameCodes", MaxFrameCodes + 1, 12, data, ErrLimit},
+		{"zero width", 4, 0, data, ErrLimit},
+		{"negative width", 4, -8, data, ErrLimit},
+		{"width above 64", 4, 65, data, ErrLimit},
+		{"count larger than payload", 32, 12, data, ErrTruncated},
+		{"huge count within limit, empty payload", MaxFrameCodes, 64, nil, ErrTruncated},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			codes, err := unpackCodes(tc.data, tc.n, tc.cb)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("unpackCodes(len=%d, n=%d, cb=%d) err = %v, want %v",
+					len(tc.data), tc.n, tc.cb, err, tc.want)
+			}
+			if codes != nil {
+				t.Fatalf("hostile input returned %d codes alongside the error", len(codes))
+			}
+		})
 	}
 }

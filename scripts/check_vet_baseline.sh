@@ -1,0 +1,25 @@
+#!/bin/sh
+# Baseline gate for the repo's static-analysis suite: lzwtcvet findings
+# are compared against the committed ledger and only NEW findings fail
+# the run. Stale ledger entries (fixed findings that nobody removed) are
+# reported on stderr without failing, so the baseline shrinks instead of
+# rotting.
+#
+# The committed baseline is intentionally empty: every historical
+# finding was fixed at the source. Keep it that way — regenerate with
+#
+#     go run ./cmd/lzwtcvet -json ./... > lzwtcvet_baseline.json
+#
+# only when a finding is consciously accepted, and record why in
+# internal/analysis/README.md alongside the suppression ledger.
+set -eu
+
+BASELINE="${VET_BASELINE:-lzwtcvet_baseline.json}"
+
+if [ ! -f "$BASELINE" ]; then
+    echo "check_vet_baseline: missing baseline file $BASELINE" >&2
+    exit 2
+fi
+
+go run ./cmd/lzwtcvet -baseline "$BASELINE" ./...
+echo "lzwtcvet baseline: clean (no findings beyond $BASELINE)"
