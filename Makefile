@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 
-.PHONY: build vet vet-concurrency test race lzwtcvet lzwtcvet-baseline dict-oracle fuzz telemetry-overhead batch-bench bench-json bench-gate cover lzwtcd-smoke verify
+.PHONY: build vet vet-concurrency test race lzwtcvet lzwtcvet-baseline dict-oracle fuzz telemetry-overhead trace-overhead batch-bench bench-json bench-gate cover lzwtcd-smoke verify
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,13 @@ fuzz:
 telemetry-overhead:
 	$(GO) test -run='^$$' -bench='BenchmarkCompressTelemetry' -benchtime=$(BENCHTIME) ./internal/core
 
+# Trace-overhead gate: the disabled-tracing ctx path must stay within
+# 3% of the disabled-telemetry baseline and allocate identically
+# (min-of-3 interleaved runs; COUNT/BENCHTIME/TOLERANCE_PCT env vars
+# override).
+trace-overhead:
+	sh scripts/check_trace_overhead.sh
+
 # Batch pool smoke: the parallel engine's throughput benchmarks must run
 # clean at every worker count. Raise BENCHTIME for real scaling numbers
 # on a multicore machine (patterns/s at 1, 4 and NumCPU workers).
@@ -87,4 +94,4 @@ bench-json:
 bench-gate:
 	$(GO) run ./cmd/benchgen -bench -benchtime=1s -check BENCH_4.json -tolerance=0.10
 
-verify: build vet vet-concurrency test race lzwtcvet lzwtcvet-baseline dict-oracle fuzz telemetry-overhead batch-bench cover lzwtcd-smoke
+verify: build vet vet-concurrency test race lzwtcvet lzwtcvet-baseline dict-oracle fuzz telemetry-overhead trace-overhead batch-bench cover lzwtcd-smoke

@@ -23,6 +23,7 @@ import (
 
 	"lzwtc"
 	"lzwtc/internal/server"
+	"lzwtc/internal/telemetry"
 )
 
 // Options tunes a Client. The zero value is usable.
@@ -41,6 +42,12 @@ type Options struct {
 	// Metrics will buffer; a larger body is an error, not an unbounded
 	// allocation. <= 0 means 1 GiB.
 	MaxResponseBytes int64
+	// Recorder receives client-side telemetry: one SpanClientRequest
+	// trace span per call (not per attempt), whose identity is also
+	// propagated to the server in the X-Lzwtc-Trace header so client
+	// and server spans merge into one trace. nil disables client spans;
+	// a span context already carried by the call's ctx still propagates.
+	Recorder *telemetry.Recorder
 }
 
 // Client talks to one lzwtcd instance.
@@ -77,16 +84,26 @@ func NewWithRetries(baseURL string, retries int) *Client {
 	return New(baseURL, Options{Retries: retries})
 }
 
+// SpanClientRequest is the trace span each instrumented client call
+// records, covering every retry attempt of one logical request.
+const SpanClientRequest = "client.request"
+
 // APIError is a non-2xx response carrying the service's structured
 // error envelope.
 type APIError struct {
 	Status  int    // HTTP status code
 	Code    string // stable machine-readable code ("bad_request", ...)
 	Message string
+	// RequestID is the server-assigned (or echoed) request identifier
+	// from the error envelope, joinable to the server-side trace.
+	RequestID string
 }
 
 // Error implements error.
 func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("lzwtcd: %d %s: %s (request %s)", e.Status, e.Code, e.Message, e.RequestID)
+	}
 	return fmt.Sprintf("lzwtcd: %d %s: %s", e.Status, e.Code, e.Message)
 }
 
@@ -100,15 +117,30 @@ func retryable(status int) bool {
 }
 
 // do runs one replayable request with retry/backoff. body is the full
-// request body; it is re-sent from the start on every attempt.
-func (c *Client) do(ctx context.Context, method, path string, query url.Values, contentType string, body []byte) (*http.Response, error) {
+// request body; it is re-sent from the start on every attempt. One
+// client.request trace span covers all attempts; the span identity in
+// ctx (started here, or supplied by the caller even with no recorder)
+// travels to the server in the X-Lzwtc-Trace header, and any request
+// ID in ctx in X-Request-Id.
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, contentType string, body []byte) (resp *http.Response, err error) {
 	u := c.base + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
+	var sp *telemetry.TraceSpan
+	ctx, sp = c.opts.Recorder.StartSpan(ctx, SpanClientRequest)
+	attempts := 0
+	defer func() {
+		status := 0
+		if resp != nil {
+			status = resp.StatusCode
+		}
+		sp.End(telemetry.F("path", path), telemetry.F("attempts", attempts), telemetry.F("status", status))
+	}()
 	delay := c.opts.Backoff
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		attempts = attempt + 1
 		if attempt > 0 {
 			timer := time.NewTimer(delay)
 			select {
@@ -128,6 +160,12 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		}
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
+		}
+		if sc, ok := telemetry.SpanFromContext(ctx); ok {
+			req.Header.Set(server.HeaderTrace, sc.String())
+		}
+		if id := telemetry.RequestIDFromContext(ctx); id != "" {
+			req.Header.Set(server.HeaderRequestID, id)
 		}
 		resp, err := c.http.Do(req)
 		if err != nil {
@@ -149,19 +187,27 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 	return nil, fmt.Errorf("lzwtcd: request failed after %d attempts: %w", c.opts.Retries+1, lastErr)
 }
 
-// decodeAPIError drains a non-2xx response into an *APIError.
+// decodeAPIError drains a non-2xx response into an *APIError. The
+// request ID comes from the envelope, falling back to the echoed
+// X-Request-Id header for bodies the server never wrote.
 func decodeAPIError(resp *http.Response) error {
 	defer resp.Body.Close() //nolint:errcheck // error body already read
+	reqID := resp.Header.Get(server.HeaderRequestID)
 	var envelope server.ErrorBody
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	if err != nil {
 		return &APIError{Status: resp.StatusCode, Code: "unreadable_body",
-			Message: fmt.Sprintf("reading error body: %v", err)}
+			Message: fmt.Sprintf("reading error body: %v", err), RequestID: reqID}
 	}
 	if err := json.Unmarshal(data, &envelope); err != nil || envelope.Error.Code == "" {
-		return &APIError{Status: resp.StatusCode, Code: "unknown", Message: strings.TrimSpace(string(data))}
+		return &APIError{Status: resp.StatusCode, Code: "unknown",
+			Message: strings.TrimSpace(string(data)), RequestID: reqID}
 	}
-	return &APIError{Status: resp.StatusCode, Code: envelope.Error.Code, Message: envelope.Error.Message}
+	if envelope.Error.RequestID != "" {
+		reqID = envelope.Error.RequestID
+	}
+	return &APIError{Status: resp.StatusCode, Code: envelope.Error.Code,
+		Message: envelope.Error.Message, RequestID: reqID}
 }
 
 // CompressOptions tunes one remote compression.

@@ -1,0 +1,91 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"lzwtc/client"
+	"lzwtc/internal/server"
+	"lzwtc/internal/telemetry"
+)
+
+// TestRequestIDAndTracePropagation: the request ID in ctx travels out
+// in X-Request-Id and comes back in the error envelope; the client's
+// span identity travels in X-Lzwtc-Trace.
+func TestRequestIDAndTracePropagation(t *testing.T) {
+	var gotReqID, gotTrace string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotReqID = r.Header.Get(server.HeaderRequestID)
+		gotTrace = r.Header.Get(server.HeaderTrace)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		_, _ = w.Write([]byte(`{"error":{"code":"bad_request","message":"nope","request_id":"` + gotReqID + `"}}`))
+	}))
+	defer srv.Close()
+
+	buf := telemetry.NewTraceBuffer(4)
+	rec := telemetry.New(telemetry.NewRegistry(), buf)
+	c := client.New(srv.URL, client.Options{Retries: 0, Recorder: rec})
+	ctx := telemetry.ContextWithRequestID(context.Background(), "cli-req-7")
+	err := c.Health(ctx)
+	if err == nil {
+		t.Fatal("400 response did not error")
+	}
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %T is not an APIError: %v", err, err)
+	}
+	// The envelope's request ID surfaces on the error, joinable to the
+	// server-side trace of the failing request.
+	if apiErr.RequestID != "cli-req-7" {
+		t.Fatalf("APIError.RequestID = %q, want cli-req-7", apiErr.RequestID)
+	}
+	if gotReqID != "cli-req-7" {
+		t.Fatalf("server saw request ID %q, want cli-req-7", gotReqID)
+	}
+	sc, ok := telemetry.ParseSpanContext(gotTrace)
+	if !ok {
+		t.Fatalf("trace header %q is not a valid span context", gotTrace)
+	}
+	// The identity on the wire is the client.request span now sitting
+	// in the recorder's trace buffer.
+	recent := buf.Recent(1)
+	if len(recent) != 1 || len(recent[0].Spans) != 1 {
+		t.Fatalf("trace buffer holds %+v, want the one client span", recent)
+	}
+	span := recent[0].Spans[0]
+	if span.Name != client.SpanClientRequest {
+		t.Fatalf("recorded span %q, want %q", span.Name, client.SpanClientRequest)
+	}
+	if span.TraceID != sc.String()[:16] || span.SpanID != sc.String()[17:] {
+		t.Fatalf("wire identity %s does not match recorded span %s-%s", gotTrace, span.TraceID, span.SpanID)
+	}
+	if span.RequestID != "cli-req-7" {
+		t.Fatalf("client span request_id = %q, want cli-req-7", span.RequestID)
+	}
+}
+
+// TestContextSpanPropagatesWithoutRecorder: a span context carried by
+// ctx still reaches the wire when the client has no recorder.
+func TestContextSpanPropagatesWithoutRecorder(t *testing.T) {
+	var gotTrace string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotTrace = r.Header.Get(server.HeaderTrace)
+		_, _ = w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer srv.Close()
+
+	c := client.New(srv.URL, client.Options{Retries: 0})
+	want := telemetry.SpanContext{TraceID: 0xabc, SpanID: 0xdef}
+	ctx := telemetry.ContextWithSpan(context.Background(), want)
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := telemetry.ParseSpanContext(gotTrace)
+	if !ok || got != want {
+		t.Fatalf("server saw trace header %q (parsed %+v ok=%v), want %v", gotTrace, got, ok, want)
+	}
+}

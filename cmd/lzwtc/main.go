@@ -11,10 +11,12 @@
 //	lzwtc compare   -in cubes.txt              # all coders side by side
 //	lzwtc verify    -cubes cubes.txt -filled filled.txt
 //	lzwtc remote    {compress|decompress|stats|health} -server http://host:8077
+//	lzwtc trace     -in spans.jsonl            # render recorded trace spans
 //
 // Every pipeline subcommand also accepts the observability flags
 // -telemetry {text|jsonl}, -telemetry-out, -metrics-out, -cpuprofile
-// and -memprofile. SIGINT cancels batch and stats runs cleanly.
+// and -memprofile; a jsonl capture renders back through `lzwtc trace`.
+// SIGINT cancels batch and stats runs cleanly.
 package main
 
 import (
@@ -61,6 +63,8 @@ func main() {
 		err = verify(os.Args[2:])
 	case "remote":
 		err = remote(ctx, os.Args[2:])
+	case "trace":
+		err = traceCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -75,7 +79,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lzwtc {compress|decompress|info|stats|batch|compare|verify|remote} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lzwtc {compress|decompress|info|stats|batch|compare|verify|remote|trace} [flags]")
 	os.Exit(2)
 }
 

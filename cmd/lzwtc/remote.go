@@ -10,7 +10,14 @@ import (
 
 	"lzwtc"
 	"lzwtc/client"
+	"lzwtc/internal/telemetry"
 )
+
+// SpanRemoteRun is the root trace span one `lzwtc remote` invocation
+// records: the client.request span (and through header propagation the
+// whole server-side subtree) nests under it, so a -telemetry jsonl
+// capture replays as one connected trace via `lzwtc trace`.
+const SpanRemoteRun = "remote.run"
 
 // remote drives a running lzwtcd instance through the client package:
 //
@@ -18,6 +25,10 @@ import (
 //	lzwtc remote decompress -server URL -in cubes.lzw -out filled.txt
 //	lzwtc remote stats      -server URL
 //	lzwtc remote health     -server URL
+//
+// All verbs accept the shared observability flags; with -telemetry
+// jsonl the run records a remote.run root span plus the client.request
+// span for each HTTP call.
 func remote(ctx context.Context, args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("usage: lzwtc remote {compress|decompress|stats|health} [flags]")
@@ -28,6 +39,7 @@ func remote(ctx context.Context, args []string) error {
 	serverURL := fs.String("server", "http://127.0.0.1:8077", "lzwtcd base URL")
 	retries := fs.Int("retries", 2, "retry attempts for transient failures")
 	timeout := fs.Duration("timeout", 2*time.Minute, "overall deadline for the operation")
+	topts := telemetryFlags(fs)
 	var in, out *string
 	var shard *int
 	var cfg *lzwtc.Config
@@ -48,34 +60,53 @@ func remote(ctx context.Context, args []string) error {
 		return err
 	}
 
+	rec, finish, err := topts.start()
+	if err != nil {
+		return err
+	}
 	ctx, cancel := context.WithTimeout(ctx, *timeout)
 	defer cancel()
-	c := client.New(*serverURL, client.Options{Retries: *retries})
+	c := client.New(*serverURL, client.Options{Retries: *retries, Recorder: rec})
 
+	rctx, sp := rec.StartSpan(ctx, SpanRemoteRun)
 	switch verb {
 	case "compress":
-		return remoteCompress(ctx, c, *in, *out, *cfg, *shard)
+		err = remoteCompress(rctx, c, *in, *out, *cfg, *shard)
 	case "decompress":
-		return remoteDecompress(ctx, c, *in, *out)
+		err = remoteDecompress(rctx, c, *in, *out)
 	case "stats":
-		stats, err := c.Stats(ctx)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("uptime:        %.1fs\n", stats.UptimeSeconds)
-		fmt.Printf("in flight:     %d\n", stats.InFlight)
-		fmt.Printf("requests:      %d (errors %d)\n", stats.Requests["total"], stats.Errors)
-		fmt.Printf("bytes:         %d in, %d out\n", stats.BytesIn, stats.BytesOut)
-		fmt.Printf("patterns:      %d compressed, %d decompressed\n",
-			stats.PatternsCompressed, stats.PatternsDecompressed)
-		return nil
+		err = remoteStats(rctx, c)
 	case "health":
-		if err := c.Health(ctx); err != nil {
-			return err
-		}
-		fmt.Println("ok")
-		return nil
+		err = remoteHealth(rctx, c)
 	}
+	sp.End(telemetry.F("verb", verb), telemetry.F("ok", err == nil))
+	if err != nil {
+		return err
+	}
+	return finish()
+}
+
+func remoteStats(ctx context.Context, c *client.Client) error {
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("uptime:        %.1fs\n", stats.UptimeSeconds)
+	fmt.Printf("in flight:     %d\n", stats.InFlight)
+	fmt.Printf("requests:      %d (errors %d)\n", stats.Requests["total"], stats.Errors)
+	fmt.Printf("bytes:         %d in, %d out\n", stats.BytesIn, stats.BytesOut)
+	fmt.Printf("patterns:      %d compressed, %d decompressed\n",
+		stats.PatternsCompressed, stats.PatternsDecompressed)
+	fmt.Printf("dict arena:    %d recycled, %d fresh\n",
+		stats.DictPoolRecycles, stats.DictPoolMisses)
+	return nil
+}
+
+func remoteHealth(ctx context.Context, c *client.Client) error {
+	if err := c.Health(ctx); err != nil {
+		return err
+	}
+	fmt.Println("ok")
 	return nil
 }
 

@@ -11,13 +11,26 @@ import (
 	"lzwtc/internal/telemetry"
 )
 
+// Trace span names for the stats pipeline. Each phase runs as a child
+// of SpanStatsRun, so a -telemetry jsonl capture renders as one tree
+// through `lzwtc trace`; the names match the pre-trace phase metrics,
+// keeping lzwtc_phase_seconds_* series stable.
+const (
+	SpanStatsRun        = "stats.run"
+	SpanStatsParse      = "parse"
+	SpanStatsCompress   = "compress"
+	SpanStatsPack       = "pack"
+	SpanStatsDecompress = "decompress"
+	SpanStatsVerify     = "verify"
+)
+
 // stats runs the whole pipeline — parse, compress, pack, decompress,
-// verify — on a cube file, under telemetry spans, and prints one run
-// record: the Table 1–3 quantities (ratio, code/char/dict-reset counts,
-// the match-length histogram) plus the decompressor cycle totals when
-// the configuration is hardware-realizable. The context is checked
-// between pipeline phases, so SIGINT stops the run at the next phase
-// boundary.
+// verify — on a cube file, under one connected trace of telemetry
+// spans, and prints one run record: the Table 1–3 quantities (ratio,
+// code/char/dict-reset counts, the match-length histogram) plus the
+// decompressor cycle totals when the configuration is
+// hardware-realizable. The context is checked between pipeline phases,
+// so SIGINT stops the run at the next phase boundary.
 func stats(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	in := fs.String("in", "-", "input cube file (- for stdin)")
@@ -37,13 +50,18 @@ func stats(ctx context.Context, args []string) error {
 		return err
 	}
 	if rec == nil {
-		rec = telemetry.New(reg)
+		rec = telemetry.New(reg).WithProcess(cliProcess)
 	}
+
+	// The run span is the trace root; each phase span below starts from
+	// rctx, so the whole pipeline shares one trace ID.
+	rctx, runSp := rec.StartSpan(ctx, SpanStatsRun)
+	defer runSp.End()
 
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	sp := rec.Span("parse")
+	_, sp := rec.StartSpan(rctx, SpanStatsParse)
 	r, err := openIn(*in)
 	if err != nil {
 		return err
@@ -58,14 +76,14 @@ func stats(ctx context.Context, args []string) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	sp = rec.Span("compress")
-	res, err := lzwtc.CompressObserved(ts, *cfg, rec)
+	cctx, sp := rec.StartSpan(rctx, SpanStatsCompress)
+	res, err := lzwtc.CompressObservedCtx(cctx, ts, *cfg, rec)
 	sp.End()
 	if err != nil {
 		return err
 	}
 
-	sp = rec.Span("pack")
+	_, sp = rec.StartSpan(rctx, SpanStatsPack)
 	packed := res.Stream.Pack()
 	sp.End(telemetry.F("bytes", len(packed)))
 
@@ -78,7 +96,7 @@ func stats(ctx context.Context, args []string) error {
 	// configuration has a hardware realization; otherwise through the
 	// software decoder (no cycle record either way the bits are checked).
 	var filled *lzwtc.TestSet
-	sp = rec.Span("decompress")
+	_, sp = rec.StartSpan(rctx, SpanStatsDecompress)
 	if cfg.EntryBits > 0 && cfg.Full == lzwtc.FullFreeze {
 		var st *lzwtc.DownloadStats
 		filled, st, _, err = lzwtc.SimulateDownloadObserved(res, *ratio, rec)
@@ -93,7 +111,7 @@ func stats(ctx context.Context, args []string) error {
 		return err
 	}
 
-	sp = rec.Span("verify")
+	_, sp = rec.StartSpan(rctx, SpanStatsVerify)
 	err = lzwtc.Verify(ts, filled)
 	sp.End()
 	if err != nil {
@@ -101,6 +119,9 @@ func stats(ctx context.Context, args []string) error {
 	}
 
 	record.AttachHistograms(reg.Snapshot())
+	// End the root before finish() flushes and closes the event sinks;
+	// the deferred End (error paths) is then a no-op.
+	runSp.End()
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

@@ -10,6 +10,10 @@ import (
 	"lzwtc/internal/telemetry"
 )
 
+// cliProcess stamps trace spans recorded by this binary, so a merged
+// client+server trace attributes each span to its process.
+const cliProcess = "lzwtc"
+
 // telemetryOpts is the shared observability flag set: an event stream
 // (-telemetry text|jsonl, to stderr or -telemetry-out), a Prometheus
 // metrics dump (-metrics-out), and pprof capture (-cpuprofile,
@@ -92,7 +96,7 @@ func (o *telemetryOpts) startWith(reg *telemetry.Registry) (*telemetry.Recorder,
 		cpuFile = f
 	}
 
-	rec := telemetry.New(reg, sinks...)
+	rec := telemetry.New(reg, sinks...).WithProcess(cliProcess)
 	finish := func() error {
 		var firstErr error
 		keep := func(err error) {

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"lzwtc/internal/telemetry"
+)
+
+// traceCmd renders a JSONL telemetry stream (written with
+// -telemetry jsonl, by lzwtcd's JSONL sink, or saved from
+// /debug/trace/recent spans) as per-request span trees:
+//
+//	lzwtc trace -in spans.jsonl [-n 5]
+//
+// Every trace prints its span tree with total and self time per span
+// and a critical-path summary — the chain of longest children that
+// bounds the request's wall-clock time. Events of other kinds mixed
+// into the stream are skipped, so a full -telemetry jsonl capture
+// renders without preprocessing.
+func traceCmd(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	in := fs.String("in", "-", "JSONL event stream (- for stdin)")
+	n := fs.Int("n", 0, "render at most this many traces, file order (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	r, err := openIn(*in)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	recs, err := telemetry.ReadSpansJSONL(r)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("trace: no trace.span records in %s (was the run recorded with -telemetry jsonl?)", *in)
+	}
+	traces := telemetry.CollectTraces(recs)
+	if *n > 0 && len(traces) > *n {
+		traces = traces[:*n]
+	}
+	renderTraces(os.Stdout, traces)
+	return nil
+}
+
+// renderTraces writes one block per trace: a header (trace ID, span
+// count, root duration, request ID when present), the span tree with
+// total/self microseconds, and the critical path.
+func renderTraces(w io.Writer, traces []*telemetry.Trace) {
+	for i, t := range traces {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		spans := t.Spans()
+		var rootDur int64
+		reqID := ""
+		for _, r := range t.Roots {
+			if r.DurUS > rootDur {
+				rootDur = r.DurUS
+			}
+			if reqID == "" {
+				reqID = r.RequestID
+			}
+		}
+		fmt.Fprintf(w, "trace %s  spans %d  %dµs", t.TraceID, len(spans), rootDur)
+		if reqID != "" {
+			fmt.Fprintf(w, "  request %s", reqID)
+		}
+		fmt.Fprintln(w)
+
+		// First pass sizes the label column so total/self align across
+		// all depths of the tree.
+		width := 0
+		var measure func(n *telemetry.SpanNode, depth int)
+		measure = func(n *telemetry.SpanNode, depth int) {
+			if l := 2*depth + len(spanLabel(n)); l > width {
+				width = l
+			}
+			for _, c := range n.Children {
+				measure(c, depth+1)
+			}
+		}
+		for _, r := range t.Roots {
+			measure(r, 1)
+		}
+		var render func(n *telemetry.SpanNode, depth int)
+		render = func(n *telemetry.SpanNode, depth int) {
+			label := strings.Repeat("  ", depth) + spanLabel(n)
+			fmt.Fprintf(w, "%-*s  total %8dµs  self %8dµs\n", width, label, n.DurUS, n.Self())
+			for _, c := range n.Children {
+				render(c, depth+1)
+			}
+		}
+		for _, r := range t.Roots {
+			render(r, 1)
+		}
+
+		if cp := t.CriticalPath(); len(cp) > 0 {
+			names := make([]string, len(cp))
+			for j, n := range cp {
+				names[j] = n.Name
+			}
+			leaf := cp[len(cp)-1]
+			fmt.Fprintf(w, "  critical path: %s  (%dµs in %s)\n",
+				strings.Join(names, " > "), leaf.DurUS, leaf.Name)
+		}
+	}
+}
+
+// spanLabel is the tree label for one span: its name, tagged with the
+// emitting process when recorded.
+func spanLabel(n *telemetry.SpanNode) string {
+	if n.Process != "" {
+		return n.Name + " [" + n.Process + "]"
+	}
+	return n.Name
+}

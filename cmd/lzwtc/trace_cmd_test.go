@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lzwtc/internal/telemetry"
+)
+
+// fixtureTrace is a two-process trace shaped like a real remote
+// compress: client request wrapping a server handler wrapping two core
+// phases.
+func fixtureTrace() []*telemetry.Trace {
+	recs := []telemetry.SpanRecord{
+		{TraceID: "t1", SpanID: "a", Name: "client.request", Process: "lzwtc",
+			RequestID: "req-9", StartUnixUS: 0, DurUS: 1000},
+		{TraceID: "t1", SpanID: "b", ParentID: "a", Name: "server.compress",
+			Process: "lzwtcd", StartUnixUS: 100, DurUS: 700},
+		{TraceID: "t1", SpanID: "c", ParentID: "b", Name: "core.dict_build",
+			Process: "lzwtcd", StartUnixUS: 120, DurUS: 100},
+		{TraceID: "t1", SpanID: "d", ParentID: "b", Name: "core.match_loop",
+			Process: "lzwtcd", StartUnixUS: 240, DurUS: 500},
+	}
+	return telemetry.CollectTraces(recs)
+}
+
+func TestRenderTracesTreeAndCriticalPath(t *testing.T) {
+	var buf bytes.Buffer
+	renderTraces(&buf, fixtureTrace())
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+
+	if !strings.HasPrefix(lines[0], "trace t1  spans 4  1000µs  request req-9") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// Tree order is depth-first with indentation by depth; process tags
+	// ride each label.
+	wantLabels := []string{
+		"  client.request [lzwtc]",
+		"    server.compress [lzwtcd]",
+		"      core.dict_build [lzwtcd]",
+		"      core.match_loop [lzwtcd]",
+	}
+	for i, want := range wantLabels {
+		if !strings.HasPrefix(lines[1+i], want) {
+			t.Fatalf("tree line %d = %q, want prefix %q", i, lines[1+i], want)
+		}
+	}
+	// Total/self accounting: the server span's self time is its total
+	// minus both core phases.
+	if !strings.Contains(lines[2], "total      700µs") || !strings.Contains(lines[2], "self      100µs") {
+		t.Fatalf("server line timing = %q", lines[2])
+	}
+	// Alignment: every total column starts at the same offset.
+	first := strings.Index(lines[1], "total")
+	for i := 2; i <= 4; i++ {
+		if strings.Index(lines[i], "total") != first {
+			t.Fatalf("total column misaligned on line %d:\n%s", i, out)
+		}
+	}
+	cp := lines[len(lines)-1]
+	if !strings.Contains(cp, "critical path: client.request > server.compress > core.match_loop") ||
+		!strings.Contains(cp, "(500µs in core.match_loop)") {
+		t.Fatalf("critical path line = %q", cp)
+	}
+}
+
+func TestRenderTracesMultipleBlocks(t *testing.T) {
+	recs := []telemetry.SpanRecord{
+		{TraceID: "t1", SpanID: "a", Name: "one.root", DurUS: 10},
+		{TraceID: "t2", SpanID: "b", Name: "two.root", DurUS: 20},
+	}
+	var buf bytes.Buffer
+	renderTraces(&buf, telemetry.CollectTraces(recs))
+	out := buf.String()
+	if strings.Count(out, "trace t") != 2 {
+		t.Fatalf("expected two trace blocks:\n%s", out)
+	}
+	// Blocks are separated by a blank line.
+	if !strings.Contains(out, "\n\ntrace t2") {
+		t.Fatalf("no blank line between traces:\n%s", out)
+	}
+	// A root with no request ID renders no request column.
+	if strings.Contains(strings.Split(out, "\n")[0], "request") {
+		t.Fatalf("header grew a request column without an ID:\n%s", out)
+	}
+}

@@ -3,25 +3,36 @@
 // Usage:
 //
 //	lzwtcd [-addr :8077] [-max-body 67108864] [-timeout 60s] [-drain 30s] [-workers 0]
+//	       [-trace-capacity 64] [-telemetry-out spans.jsonl] [-debug-addr 127.0.0.1:8078]
 //
 // The service answers POST /v1/compress and POST /v1/decompress with
-// streaming wire-format bodies, plus GET /v1/stats, /healthz and
-// /metrics. SIGINT/SIGTERM trigger a graceful drain: the listener
-// closes, in-flight requests finish (bounded by -drain), then the
-// process exits 0.
+// streaming wire-format bodies, plus GET /v1/stats, /healthz, /metrics
+// and /debug/trace/recent (the in-memory ring of recent request
+// traces, sized by -trace-capacity). -telemetry-out streams every
+// telemetry event — including trace.span records renderable by `lzwtc
+// trace` — to a JSONL file. -debug-addr opens a second listener (keep
+// it off the service port, e.g. loopback-only) carrying net/http/pprof
+// and a mirror of /debug/trace/recent, so profiling and trace
+// inspection never contend with data-plane routing. SIGINT/SIGTERM
+// trigger a graceful drain: the listener closes, in-flight requests
+// finish (bounded by -drain), then the process exits 0.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"lzwtc/internal/server"
+	"lzwtc/internal/telemetry"
 )
 
 func main() {
@@ -38,8 +49,24 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 60*time.Second, "per-request wall-clock limit")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-drain limit after SIGINT/SIGTERM")
 	workers := fs.Int("workers", 0, "parallel pool size per request (0 = GOMAXPROCS)")
+	traceCap := fs.Int("trace-capacity", 64, "recent request traces retained for /debug/trace/recent")
+	telemetryOut := fs.String("telemetry-out", "", "stream JSONL telemetry events (incl. trace spans) to this file")
+	debugAddr := fs.String("debug-addr", "", "optional second listener for net/http/pprof and /debug/trace/recent")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var sinks []telemetry.Sink
+	var eventFile *os.File
+	var jsonl *telemetry.JSONLSink
+	if *telemetryOut != "" {
+		f, err := os.Create(*telemetryOut)
+		if err != nil {
+			return err
+		}
+		eventFile = f
+		jsonl = telemetry.NewJSONLSink(f)
+		sinks = append(sinks, jsonl)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -57,9 +84,55 @@ func run(args []string) error {
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *timeout,
 		Workers:        *workers,
+		TraceCapacity:  *traceCap,
+		Sinks:          sinks,
 	})
-	if err := srv.Serve(ctx, ln, *drain); err != nil {
-		return err
+
+	// The debug listener is a separate http.Server on its own mux:
+	// pprof and trace introspection stay reachable (and firewallable)
+	// independently of the data plane. Its goroutine is joined below —
+	// run cannot return before the debug server has stopped.
+	var debugSrv *http.Server
+	debugErr := make(chan error, 1)
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("lzwtcd: debug listening on %s\n", dln.Addr())
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle(server.PathTraceRecent, srv.TraceHandler())
+		debugSrv = &http.Server{Handler: mux}
+		go func() {
+			debugErr <- debugSrv.Serve(dln)
+		}()
+	}
+
+	serveErr := srv.Serve(ctx, ln, *drain)
+
+	if debugSrv != nil {
+		if err := debugSrv.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "lzwtcd: closing debug listener:", err)
+		}
+		if err := <-debugErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "lzwtcd: debug listener:", err)
+		}
+	}
+	if eventFile != nil {
+		if err := jsonl.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "lzwtcd: telemetry stream:", err)
+		}
+		if err := eventFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "lzwtcd: closing telemetry stream:", err)
+		}
+	}
+	if serveErr != nil {
+		return serveErr
 	}
 	fmt.Println("lzwtcd: drained, shutting down")
 	return nil

@@ -78,6 +78,11 @@ type Registry struct{}
 func (r *Registry) Counter(name, help string) int { return 0 }
 func (r *Registry) Gauge(name, help string) int   { return 0 }
 
+type Recorder struct{}
+
+func (r *Recorder) Span(name string) int               { return 0 }
+func (r *Recorder) StartSpan(ctx int, name string) int { return 0 }
+
 func Dyn(phase string) string { return phase }
 `
 )
@@ -333,6 +338,9 @@ const (
 	Orphan = "lzwtc_orphan_total"
 	Dup    = "lzwtc_dup_total"
 	Twice  = "lzwtc_twice_total"
+
+	SpanGood   = "pipeline.run"
+	SpanOrphan = "pipeline.orphan"
 )
 
 func Register(r *telem.Registry, name string) {
@@ -345,6 +353,14 @@ func Register(r *telem.Registry, name string) {
 	r.Gauge(Dup, "another kind")
 	r.Counter(Twice, "site one")
 	r.Counter(Twice, "site two")
+}
+
+func Trace(rec *telem.Recorder, name string) {
+	rec.Span(SpanGood)
+	rec.StartSpan(0, SpanGood)
+	rec.Span(name)
+	rec.StartSpan(0, "Bad.Span")
+	rec.StartSpan(0, SpanOrphan)
 }
 `}))
 	// The exposition contract is cross-checked against the package's
@@ -365,6 +381,7 @@ func TestExposition(t *testing.T) {
 	_ = Good
 	_ = Dup
 	_ = Twice
+	_ = SpanGood
 }
 `
 	tf, err := parser.ParseFile(metrics.Fset, "metrics_test.go", testSrc, parser.SkipObjectResolution)
@@ -383,7 +400,10 @@ func TestExposition(t *testing.T) {
 		"registered under multiple kinds",
 		"registered under multiple kinds",
 		"registered at multiple sites",
-		"never asserted in this package's tests",
+		"metric \"lzwtc_orphan_total\" is exposed but never asserted",
+		"span name name is not a string constant",
+		"is not in the span grammar",
+		"span \"pipeline.orphan\" is recorded but never asserted",
 	)
 }
 

@@ -23,14 +23,25 @@ import (
 //   - in MetricAssertPaths packages, every registered name must be
 //     asserted somewhere in that package's tests (by const reference or
 //     literal value), so /metrics output and tests cannot drift apart.
+//
+// The same contract extends to trace spans: every Recorder.Span and
+// Recorder.StartSpan name must be a compile-time string constant in the
+// dotted-lowercase span grammar (span names feed PhaseMetricName
+// histograms and trace dashboards), and in MetricAssertPaths packages
+// each span name must be asserted in that package's tests.
 type metricNameCheck struct{}
 
 func (metricNameCheck) Name() string { return "metricname" }
 func (metricNameCheck) Doc() string {
-	return "metric names must be string constants (or sanctioned constructors), valid, registered under one kind at one site, and asserted in tests for MetricAssertPaths packages"
+	return "metric names must be string constants (or sanctioned constructors), valid, registered under one kind at one site, and asserted in tests for MetricAssertPaths packages; span names must be constants in the dotted-lowercase grammar"
 }
 
 var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// spanNameRE is the grammar for trace span names: lowercase dotted
+// segments ("core.match_loop", "parse"). PhaseMetricName maps them onto
+// Prometheus names, so anything outside this set would silently mangle.
+var spanNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$`)
 
 // metricReg is one statically named registration site.
 type metricReg struct {
@@ -47,11 +58,29 @@ func (c metricNameCheck) Run(cfg *Config, pkgs []*Package) []Diagnostic {
 		diags = append(diags, Diagnostic{Pos: pkg.Fset.Position(n.Pos()), Check: "metricname", Message: msg})
 	}
 	var regs []metricReg
+	var spans []metricReg
 	for _, pkg := range pkgs {
 		for _, file := range pkg.Files {
 			ast.Inspect(file, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
 				if !ok {
+					return true
+				}
+				if idx, ok := spanCall(cfg, pkg, call); ok && len(call.Args) > idx {
+					nameArg := call.Args[idx]
+					tv, hasTV := pkg.Info.Types[nameArg]
+					if !hasTV || tv.Value == nil || tv.Value.Kind() != constant.String {
+						report(pkg, nameArg, "span name "+exprString(nameArg)+
+							" is not a string constant; a computed span name cannot be audited against traces and dashboards")
+						return true
+					}
+					value := constant.StringVal(tv.Value)
+					if !spanNameRE.MatchString(value) {
+						report(pkg, nameArg, "span name "+strconv.Quote(value)+
+							" is not in the span grammar (lowercase dotted segments); PhaseMetricName would mangle it")
+						return true
+					}
+					spans = append(spans, metricReg{pkg, nameArg, "Span", value, constIdentName(nameArg)})
 					return true
 				}
 				kind, ok := registryCall(cfg, pkg, call)
@@ -123,24 +152,68 @@ func (c metricNameCheck) Run(cfg *Config, pkgs []*Package) []Diagnostic {
 	}
 
 	// Test cross-check for the packages whose /metrics surface is part
-	// of the service contract.
+	// of the service contract. Span names carry the same burden there:
+	// a renamed span breaks trace consumers as silently as a renamed
+	// metric breaks dashboards.
 	asserted := map[string]testAsserts{}
+	assertsFor := func(pkg *Package) testAsserts {
+		a, ok := asserted[pkg.Path]
+		if !ok {
+			a = collectTestAsserts(pkg)
+			asserted[pkg.Path] = a
+		}
+		return a
+	}
 	for _, r := range regs {
 		if !matchPath(r.pkg.Path, cfg.MetricAssertPaths) {
 			continue
 		}
-		a, ok := asserted[r.pkg.Path]
-		if !ok {
-			a = collectTestAsserts(r.pkg)
-			asserted[r.pkg.Path] = a
-		}
+		a := assertsFor(r.pkg)
 		if a.values[r.value] || (r.constName != "" && a.idents[r.constName]) {
 			continue
 		}
 		report(r.pkg, r.pos, "metric "+strconv.Quote(r.value)+
 			" is exposed but never asserted in this package's tests; dashboards depending on it can silently break")
 	}
+	for _, r := range spans {
+		if !matchPath(r.pkg.Path, cfg.MetricAssertPaths) {
+			continue
+		}
+		a := assertsFor(r.pkg)
+		if a.values[r.value] || (r.constName != "" && a.idents[r.constName]) {
+			continue
+		}
+		report(r.pkg, r.pos, "span "+strconv.Quote(r.value)+
+			" is recorded but never asserted in this package's tests; trace consumers depending on it can silently break")
+	}
 	return diags
+}
+
+// spanCall reports whether call starts a trace or phase span on the
+// telemetry Recorder, returning the index of the name argument
+// (Span(name), StartSpan(ctx, name)).
+func spanCall(cfg *Config, pkg *Package, call *ast.CallExpr) (int, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0, false
+	}
+	var idx int
+	switch sel.Sel.Name {
+	case "Span":
+		idx = 0
+	case "StartSpan":
+		idx = 1
+	default:
+		return 0, false
+	}
+	recv := typeNamed(pkg.Info.TypeOf(sel.X))
+	if recv == nil || recv.Obj().Name() != "Recorder" || recv.Obj().Pkg() == nil {
+		return 0, false
+	}
+	if !matchPath(recv.Obj().Pkg().Path(), cfg.TelemetryPaths) {
+		return 0, false
+	}
+	return idx, true
 }
 
 // registryCall reports whether call registers a metric on the telemetry

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"lzwtc/internal/bitio"
@@ -120,10 +121,20 @@ func Compress(stream *bitvec.Vector, cfg Config) (*Result, error) {
 // its sinks. A nil recorder is the production fast path — it costs one
 // pointer check per emitted code.
 func CompressObserved(stream *bitvec.Vector, cfg Config, rec *telemetry.Recorder) (*Result, error) {
+	return CompressObservedCtx(context.Background(), stream, cfg, rec)
+}
+
+// CompressObservedCtx is CompressObserved threaded through a context:
+// when ctx carries a trace span (and rec has sinks), the dictionary
+// build and the match loop are recorded as child spans of it, so a
+// request trace attributes compression time to its internal phases.
+// With a nil recorder the context is never touched — the disabled path
+// stays one pointer check and adds no allocations.
+func CompressObservedCtx(ctx context.Context, stream *bitvec.Vector, cfg Config, rec *telemetry.Recorder) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return compressInternal(stream, cfg, rec, func() (*dict, error) { return acquireDict(cfg, rec), nil })
+	return compressInternal(ctx, stream, cfg, rec, func() (*dict, error) { return acquireDict(cfg, rec), nil })
 }
 
 // CompressTrace is Compress with a per-step trace callback (used to
@@ -134,7 +145,7 @@ func CompressTrace(stream *bitvec.Vector, cfg Config, trace func(TraceEvent)) (*
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return compressInternal(stream, cfg, traceRecorder(trace), func() (*dict, error) { return acquireDict(cfg, nil), nil })
+	return compressInternal(context.Background(), stream, cfg, traceRecorder(trace), func() (*dict, error) { return acquireDict(cfg, nil), nil })
 }
 
 // traceRecorder adapts a TraceEvent callback into an events-only
@@ -152,10 +163,10 @@ func traceRecorder(trace func(TraceEvent)) *telemetry.Recorder {
 
 // compressWithDict is the preloaded-dictionary entry point.
 func compressWithDict(stream *bitvec.Vector, cfg Config, mk func() (*dict, error)) (*Result, error) {
-	return compressInternal(stream, cfg, nil, mk)
+	return compressInternal(context.Background(), stream, cfg, nil, mk)
 }
 
-func compressInternal(stream *bitvec.Vector, cfg Config, rec *telemetry.Recorder, mk func() (*dict, error)) (*Result, error) {
+func compressInternal(ctx context.Context, stream *bitvec.Vector, cfg Config, rec *telemetry.Recorder, mk func() (*dict, error)) (*Result, error) {
 	res := &Result{Cfg: cfg, InputBits: stream.Len()}
 	res.Stats.InputBits = stream.Len()
 	if stream.Len() == 0 {
@@ -166,11 +177,14 @@ func compressInternal(stream *bitvec.Vector, cfg Config, rec *telemetry.Recorder
 	cc := cfg.CharBits
 	nChars := (stream.Len() + cc - 1) / cc
 	fullMask := uint64(1)<<uint(cc) - 1
+	_, dsp := rec.StartSpan(ctx, SpanDictBuild)
 	d, err := mk()
+	dsp.End()
 	if err != nil {
 		return nil, err
 	}
 	defer releaseDict(d)
+	_, msp := rec.StartSpan(ctx, SpanMatchLoop)
 	e := &encoder{cfg: cfg, d: d, res: res, stream: stream, rec: rec,
 		m: newCompressMetrics(rec, cfg), tracing: rec.Tracing(), fullMask: fullMask}
 
@@ -232,6 +246,7 @@ func compressInternal(stream *bitvec.Vector, cfg Config, rec *telemetry.Recorder
 	res.Stats.CodesEmitted = len(res.Codes)
 	res.Stats.CompressedBits = len(res.Codes) * cfg.CodeBits()
 	res.Stats.DictResets = d.resets
+	msp.End(telemetry.F("chars", nChars), telemetry.F("codes", len(res.Codes)))
 	recordCompressRun(rec, res.Stats)
 	return res, nil
 }

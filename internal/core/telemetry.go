@@ -33,6 +33,18 @@ const (
 	MetricCompressRatio         = "lzwtc_compress_ratio"
 )
 
+// Trace span names for the core phases. These appear as span records in
+// request traces and (via telemetry.PhaseMetricName) as phase-duration
+// histograms, so the compressor's internal cost structure is visible
+// per request: how long dictionary construction took versus the match
+// loop itself.
+const (
+	SpanSerialize = "core.serialize"  // cube-set serialization into the stream
+	SpanDictBuild = "core.dict_build" // dictionary acquisition/preload
+	SpanMatchLoop = "core.match_loop" // the Figure 3 compression loop
+	SpanDecode    = "core.decode"     // one frame's software decompression
+)
+
 // Dictionary arena metrics: how often a run reused a pooled dictionary
 // versus allocating fresh (see arena.go). High recycle-to-miss ratios
 // mean the batch/shard pipelines are running allocation-free.

@@ -15,8 +15,13 @@ const EventRow = "experiment.row"
 // runs.
 const MetricRows = "lzwtc_experiment_rows_total"
 
+// SpanExperimentRun is the span every observed experiment runs under;
+// the experiment's name travels as an "experiment" field rather than in
+// the span name, so the phase histogram stays one bounded series.
+const SpanExperimentRun = "experiment.run"
+
 // RunObserved is Run instrumented through a telemetry recorder: the
-// whole experiment runs under an "experiment.<name>" span, and each
+// whole experiment runs under a SpanExperimentRun span, and each
 // produced row is emitted as an EventRow record keyed by the table's
 // column headers. A nil recorder reduces to Run.
 func RunObserved(name string, rec *telemetry.Recorder) (*report.Table, error) {
@@ -27,10 +32,10 @@ func RunObserved(name string, rec *telemetry.Recorder) (*report.Table, error) {
 // bound for the pool-backed sweep tables (workers <= 0 means
 // GOMAXPROCS).
 func RunObservedCtx(ctx context.Context, name string, workers int, rec *telemetry.Recorder) (*report.Table, error) {
-	sp := rec.Span("experiment." + name)
+	sp := rec.Span(SpanExperimentRun)
 	t, err := RunCtx(ctx, name, workers)
 	if err != nil {
-		sp.End(telemetry.F("error", err.Error()))
+		sp.End(telemetry.F("experiment", name), telemetry.F("error", err.Error()))
 		return nil, err
 	}
 	if reg := rec.Registry(); reg != nil {

@@ -23,7 +23,9 @@ func TestRunObservedEmitsRowEvents(t *testing.T) {
 			}
 			rows++
 		case "span":
-			if name, _ := ev.Field("name"); name == "experiment.figure3" {
+			name, _ := ev.Field("name")
+			exp, _ := ev.Field("experiment")
+			if name == SpanExperimentRun && exp == "figure3" {
 				spans++
 			}
 		}

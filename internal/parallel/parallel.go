@@ -181,8 +181,8 @@ func Map[T, R any](ctx context.Context, items []T, opts Options, fn func(ctx con
 					// cause, not a partial run.
 					continue
 				}
-				sp := m.jobStart()
-				r, err := runRecovered(inner, i, items[i], fn)
+				jctx, sp := m.jobStart(inner)
+				r, err := runRecovered(jctx, i, items[i], fn)
 				m.jobEnd(sp, i, err)
 				out[i] = Outcome[R]{Value: r, Err: err}
 				done[i] = true
@@ -263,8 +263,8 @@ func (r JobResult) Ratio() float64 {
 // byte-identical to a one-job-at-a-time loop. The returned slice always
 // has one entry per job, in job order.
 func CompressJobs(ctx context.Context, jobs []Job, opts Options) ([]JobResult, error) {
-	outcomes, err := Map(ctx, jobs, opts, func(_ context.Context, _ int, j Job) (JobResult, error) {
-		res, e := compressJob(j, opts.Recorder)
+	outcomes, err := Map(ctx, jobs, opts, func(jctx context.Context, _ int, j Job) (JobResult, error) {
+		res, e := compressJob(jctx, j, opts.Recorder)
 		if e != nil {
 			return JobResult{}, e
 		}
@@ -281,15 +281,19 @@ func CompressJobs(ctx context.Context, jobs []Job, opts Options) ([]JobResult, e
 }
 
 // compressJob runs one job body: validate, serialize aligned, compress.
-func compressJob(j Job, rec *telemetry.Recorder) (*core.Result, error) {
+// ctx carries the job's trace span, so serialization and the core
+// phases attribute under it.
+func compressJob(ctx context.Context, j Job, rec *telemetry.Recorder) (*core.Result, error) {
 	if err := j.Cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("parallel: job %q: %w", j.Name, err)
 	}
 	if j.Set == nil || len(j.Set.Cubes) == 0 {
 		return nil, fmt.Errorf("parallel: job %q: empty test set", j.Name)
 	}
+	_, ssp := rec.StartSpan(ctx, core.SpanSerialize)
 	stream := j.Set.SerializeAligned(j.Cfg.CharBits)
-	res, err := core.CompressObserved(stream, j.Cfg, rec)
+	ssp.End(telemetry.F("bits", stream.Len()))
+	res, err := core.CompressObservedCtx(ctx, stream, j.Cfg, rec)
 	if err != nil {
 		return nil, fmt.Errorf("parallel: job %q: %w", j.Name, err)
 	}

@@ -92,8 +92,11 @@ func CompressSharded(ctx context.Context, cs *bitvec.CubeSet, cfg core.Config, p
 	shardOpts.Policy = FailFast
 
 	ratioHist := shardRatioHist(opts.Recorder)
-	outcomes, err := Map(ctx, groups, shardOpts, func(_ context.Context, _ int, g *bitvec.CubeSet) (*core.Result, error) {
-		res, e := core.CompressObserved(g.SerializeAligned(cfg.CharBits), cfg, opts.Recorder)
+	outcomes, err := Map(ctx, groups, shardOpts, func(jctx context.Context, _ int, g *bitvec.CubeSet) (*core.Result, error) {
+		_, ssp := opts.Recorder.StartSpan(jctx, core.SpanSerialize)
+		stream := g.SerializeAligned(cfg.CharBits)
+		ssp.End(telemetry.F("bits", stream.Len()))
+		res, e := core.CompressObservedCtx(jctx, stream, cfg, opts.Recorder)
 		if e != nil {
 			return nil, e
 		}
@@ -136,8 +139,8 @@ func CompressSharded(ctx context.Context, cs *bitvec.CubeSet, cfg core.Config, p
 func DecompressSharded(ctx context.Context, s *ShardedResult, opts Options) (*bitvec.CubeSet, error) {
 	shardOpts := opts
 	shardOpts.Policy = FailFast
-	outcomes, err := Map(ctx, s.Shards, shardOpts, func(_ context.Context, _ int, sh *core.Result) (*bitvec.CubeSet, error) {
-		stream, e := core.Decompress(sh.Codes, s.Cfg, sh.InputBits)
+	outcomes, err := Map(ctx, s.Shards, shardOpts, func(jctx context.Context, _ int, sh *core.Result) (*bitvec.CubeSet, error) {
+		stream, e := core.DecompressObservedCtx(jctx, sh.Codes, s.Cfg, sh.InputBits, opts.Recorder)
 		if e != nil {
 			return nil, e
 		}

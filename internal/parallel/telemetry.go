@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"sync/atomic"
 
 	"lzwtc/internal/telemetry"
@@ -67,14 +68,17 @@ func (m *poolMetrics) dispatched() {
 	m.queue.Set(float64(m.queued.Add(-1)))
 }
 
-// jobStart records a worker picking the job up and returns its span.
-func (m *poolMetrics) jobStart() *telemetry.Span {
+// jobStart records a worker picking the job up and opens its trace
+// span as a child of the request span carried by ctx (when tracing is
+// on); the returned context threads the job's span identity into the
+// job body so core phases nest beneath it.
+func (m *poolMetrics) jobStart(ctx context.Context) (context.Context, *telemetry.TraceSpan) {
 	m.inflight.Set(float64(m.inflightN.Add(1)))
-	return m.rec.Span(EventJob)
+	return m.rec.StartSpan(ctx, EventJob)
 }
 
 // jobEnd records the job's completion, classifying the error.
-func (m *poolMetrics) jobEnd(sp *telemetry.Span, index int, err error) {
+func (m *poolMetrics) jobEnd(sp *telemetry.TraceSpan, index int, err error) {
 	m.inflight.Set(float64(m.inflightN.Add(-1)))
 	m.jobs.Inc()
 	status := "ok"

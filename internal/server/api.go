@@ -6,15 +6,17 @@ import (
 	"strconv"
 
 	"lzwtc/internal/core"
+	"lzwtc/internal/telemetry"
 )
 
 // API paths served by lzwtcd and spoken by the client package.
 const (
-	PathCompress   = "/v1/compress"
-	PathDecompress = "/v1/decompress"
-	PathStats      = "/v1/stats"
-	PathHealth     = "/healthz"
-	PathMetrics    = "/metrics"
+	PathCompress    = "/v1/compress"
+	PathDecompress  = "/v1/decompress"
+	PathStats       = "/v1/stats"
+	PathHealth      = "/healthz"
+	PathMetrics     = "/metrics"
+	PathTraceRecent = "/debug/trace/recent"
 )
 
 // Query parameter names for /v1/compress. The values mirror the lzwtc
@@ -37,6 +39,17 @@ const (
 	HeaderShards   = "X-Lzwtc-Shards"
 )
 
+// Request-scoped propagation headers.
+const (
+	// HeaderTrace carries the caller's span context in the wire form
+	// "<16 hex trace id>-<16 hex span id>" (telemetry.SpanContext), so
+	// the server's spans link under the client's request span.
+	HeaderTrace = "X-Lzwtc-Trace"
+	// HeaderRequestID carries (request) or echoes (response) the
+	// request identifier attached to span records and error envelopes.
+	HeaderRequestID = "X-Request-Id"
+)
+
 // ErrorBody is the structured error envelope every non-2xx response
 // carries.
 type ErrorBody struct {
@@ -44,10 +57,12 @@ type ErrorBody struct {
 }
 
 // ErrorDetail is the machine-readable error: a stable code plus a
-// human message.
+// human message, and the request ID the server assigned (or echoed),
+// joinable to the server-side trace of the failing request.
 type ErrorDetail struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Stable error codes.
@@ -62,7 +77,10 @@ const (
 	CodeInternal         = "internal"
 )
 
-// StatsResponse is the /v1/stats document.
+// StatsResponse is the /v1/stats document. The dict-arena counters use
+// the same JSON keys as the CompressRecord section of `lzwtc stats`
+// run records (a test pins the key sets together), so scripts join the
+// service view to the CLI view without a translation table.
 type StatsResponse struct {
 	UptimeSeconds        float64          `json:"uptime_seconds"`
 	InFlight             int64            `json:"in_flight"`
@@ -72,6 +90,14 @@ type StatsResponse struct {
 	BytesOut             int64            `json:"bytes_out"`
 	PatternsCompressed   int64            `json:"patterns_compressed"`
 	PatternsDecompressed int64            `json:"patterns_decompressed"`
+	DictPoolRecycles     int64            `json:"dict_pool_recycles"`
+	DictPoolMisses       int64            `json:"dict_pool_misses"`
+}
+
+// TraceRecentResponse is the /debug/trace/recent document: the most
+// recent traces in the server's ring buffer, newest first.
+type TraceRecentResponse struct {
+	Traces []telemetry.TraceRecord `json:"traces"`
 }
 
 // EncodeCompressQuery renders a Config (and optional shard size) as

@@ -4,19 +4,28 @@
 //
 // Endpoints:
 //
-//	POST /v1/compress    cube text in, wire container out
-//	                     (?char ?dict ?entry ?fill ?tie ?full ?shard)
-//	POST /v1/decompress  wire container in, fully specified cube text out
-//	GET  /v1/stats       JSON service counters
-//	GET  /healthz        liveness
-//	GET  /metrics        Prometheus text exposition (internal/telemetry)
+//	POST /v1/compress         cube text in, wire container out
+//	                          (?char ?dict ?entry ?fill ?tie ?full ?shard)
+//	POST /v1/decompress       wire container in, fully specified cube text out
+//	GET  /v1/stats            JSON service counters
+//	GET  /healthz             liveness
+//	GET  /metrics             Prometheus text exposition (internal/telemetry)
+//	GET  /debug/trace/recent  last-N request traces as JSON (?n)
 //
 // Every request is bounded two ways: http.MaxBytesReader enforces the
 // body limit (413 with a structured error body) and a per-request
 // timeout bounds wall clock (408). Errors are always the JSON envelope
-// of api.go. Serve drains gracefully: on context cancellation the
-// listener closes, in-flight requests run to completion inside the
+// of api.go, carrying the request ID the server assigned or echoed
+// from X-Request-Id. Serve drains gracefully: on context cancellation
+// the listener closes, in-flight requests run to completion inside the
 // drain timeout, and only then does Serve return.
+//
+// Tracing: compress and decompress requests run under a server span
+// (linked beneath the caller's span when the request carries an
+// X-Lzwtc-Trace header), and the pool jobs, core phases and wire
+// framing underneath nest as child spans. Completed spans land in an
+// in-memory ring buffer served by /debug/trace/recent and in any sinks
+// the Config supplies.
 package server
 
 import (
@@ -31,6 +40,7 @@ import (
 	"time"
 
 	"lzwtc"
+	"lzwtc/internal/core"
 	"lzwtc/internal/telemetry"
 )
 
@@ -55,8 +65,35 @@ const (
 	MetricStatsRequests      = "lzwtcd_stats_requests_total"
 	MetricHealthRequests     = "lzwtcd_healthz_requests_total"
 	MetricMetricsRequests    = "lzwtcd_metrics_requests_total"
+	MetricTraceRequests      = "lzwtcd_trace_requests_total"
 	MetricOtherRequests      = "lzwtcd_other_requests_total"
 )
+
+// SLO latency histograms for the two data-plane endpoints. Each request
+// contributes two observations — time to first response byte and time
+// to completion — into the _ok or _error family for its outcome, so an
+// SLO burn query never mixes fast failures into the success latency.
+// The registry is label-free by design; outcome is encoded in the name.
+const (
+	MetricSLOCompressFirstByteOK    = "lzwtcd_slo_compress_first_byte_seconds_ok"
+	MetricSLOCompressFirstByteErr   = "lzwtcd_slo_compress_first_byte_seconds_error"
+	MetricSLOCompressDoneOK         = "lzwtcd_slo_compress_seconds_ok"
+	MetricSLOCompressDoneErr        = "lzwtcd_slo_compress_seconds_error"
+	MetricSLODecompressFirstByteOK  = "lzwtcd_slo_decompress_first_byte_seconds_ok"
+	MetricSLODecompressFirstByteErr = "lzwtcd_slo_decompress_first_byte_seconds_error"
+	MetricSLODecompressDoneOK       = "lzwtcd_slo_decompress_seconds_ok"
+	MetricSLODecompressDoneErr      = "lzwtcd_slo_decompress_seconds_error"
+)
+
+// Trace span names for the server request handlers.
+const (
+	SpanCompress   = "server.compress"
+	SpanDecompress = "server.decompress"
+)
+
+// processName stamps this server's trace spans, distinguishing them
+// from client-side spans in a merged trace.
+const processName = "lzwtcd"
 
 // latencyBuckets spans sub-millisecond cache hits to multi-second
 // sharded runs.
@@ -75,16 +112,23 @@ type Config struct {
 	// GOMAXPROCS (the pool's own default).
 	Workers int
 	// Registry receives service metrics; nil allocates a private one.
+	// The compression pipeline records into the same registry, so
+	// /metrics and /v1/stats cover core and pool metrics too.
 	Registry *telemetry.Registry
-	// Recorder receives pipeline telemetry events; nil runs the
-	// pipeline uninstrumented (metrics above still work).
-	Recorder *telemetry.Recorder
+	// TraceCapacity bounds the in-memory trace ring buffer behind
+	// /debug/trace/recent; <= 0 means 64 traces.
+	TraceCapacity int
+	// Sinks receive the server's telemetry events (trace spans, run
+	// records) in addition to the built-in trace ring buffer. Optional.
+	Sinks []telemetry.Sink
 }
 
 // Server is the lzwtcd HTTP service.
 type Server struct {
 	cfg      Config
 	reg      *telemetry.Registry
+	rec      *telemetry.Recorder
+	traces   *telemetry.TraceBuffer
 	mux      *http.ServeMux
 	start    time.Time
 	inFlight atomic.Int64
@@ -100,6 +144,28 @@ type Server struct {
 	inFlightG   *telemetry.Gauge
 }
 
+// sloHists holds one endpoint's SLO instruments, resolved once at
+// construction. A nil *sloHists disables SLO accounting (control-plane
+// endpoints).
+type sloHists struct {
+	firstByteOK  *telemetry.Histogram
+	firstByteErr *telemetry.Histogram
+	doneOK       *telemetry.Histogram
+	doneErr      *telemetry.Histogram
+}
+
+// observe records one finished request: firstByte and done are seconds
+// from request start (firstByte falls back to done when the handler
+// never wrote a byte).
+func (h *sloHists) observe(ok bool, firstByte, done float64) {
+	fb, dn := h.firstByteErr, h.doneErr
+	if ok {
+		fb, dn = h.firstByteOK, h.doneOK
+	}
+	fb.Observe(firstByte)
+	dn.Observe(done)
+}
+
 // New builds a Server.
 func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
@@ -112,9 +178,13 @@ func New(cfg Config) *Server {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
+	traces := telemetry.NewTraceBuffer(cfg.TraceCapacity)
+	sinks := append(append([]telemetry.Sink{}, cfg.Sinks...), traces)
 	s := &Server{
 		cfg:         cfg,
 		reg:         reg,
+		rec:         telemetry.New(reg, sinks...).WithProcess(processName),
+		traces:      traces,
 		mux:         http.NewServeMux(),
 		start:       time.Now(),
 		requests:    reg.Counter(MetricRequests, "requests received"),
@@ -126,20 +196,42 @@ func New(cfg Config) *Server {
 		latency:     reg.Histogram(MetricLatency, "request latency in seconds", latencyBuckets()),
 		inFlightG:   reg.Gauge(MetricInFlight, "requests currently being served"),
 	}
+	compressSLO := &sloHists{
+		firstByteOK:  reg.Histogram(MetricSLOCompressFirstByteOK, "compress time to first byte, successful requests", latencyBuckets()),
+		firstByteErr: reg.Histogram(MetricSLOCompressFirstByteErr, "compress time to first byte, failed requests", latencyBuckets()),
+		doneOK:       reg.Histogram(MetricSLOCompressDoneOK, "compress request duration, successful requests", latencyBuckets()),
+		doneErr:      reg.Histogram(MetricSLOCompressDoneErr, "compress request duration, failed requests", latencyBuckets()),
+	}
+	decompressSLO := &sloHists{
+		firstByteOK:  reg.Histogram(MetricSLODecompressFirstByteOK, "decompress time to first byte, successful requests", latencyBuckets()),
+		firstByteErr: reg.Histogram(MetricSLODecompressFirstByteErr, "decompress time to first byte, failed requests", latencyBuckets()),
+		doneOK:       reg.Histogram(MetricSLODecompressDoneOK, "decompress request duration, successful requests", latencyBuckets()),
+		doneErr:      reg.Histogram(MetricSLODecompressDoneErr, "decompress request duration, failed requests", latencyBuckets()),
+	}
+	// The traceStart closures keep every StartSpan call site on a
+	// package-const span name, the contract the metricname check audits.
 	s.mux.HandleFunc(PathCompress, s.instrument(
-		reg.Counter(MetricCompressRequests, "requests to compress"), s.handleCompress))
+		reg.Counter(MetricCompressRequests, "requests to compress"), compressSLO,
+		func(ctx context.Context) (context.Context, *telemetry.TraceSpan) {
+			return s.rec.StartSpan(ctx, SpanCompress)
+		}, s.handleCompress))
 	s.mux.HandleFunc(PathDecompress, s.instrument(
-		reg.Counter(MetricDecompressRequests, "requests to decompress"), s.handleDecompress))
+		reg.Counter(MetricDecompressRequests, "requests to decompress"), decompressSLO,
+		func(ctx context.Context) (context.Context, *telemetry.TraceSpan) {
+			return s.rec.StartSpan(ctx, SpanDecompress)
+		}, s.handleDecompress))
 	s.mux.HandleFunc(PathStats, s.instrument(
-		reg.Counter(MetricStatsRequests, "requests to stats"), s.handleStats))
+		reg.Counter(MetricStatsRequests, "requests to stats"), nil, nil, s.handleStats))
 	s.mux.HandleFunc(PathHealth, s.instrument(
-		reg.Counter(MetricHealthRequests, "requests to healthz"), s.handleHealth))
+		reg.Counter(MetricHealthRequests, "requests to healthz"), nil, nil, s.handleHealth))
 	s.mux.HandleFunc(PathMetrics, s.instrument(
-		reg.Counter(MetricMetricsRequests, "requests to metrics"), s.handleMetrics))
+		reg.Counter(MetricMetricsRequests, "requests to metrics"), nil, nil, s.handleMetrics))
+	s.mux.HandleFunc(PathTraceRecent, s.instrument(
+		reg.Counter(MetricTraceRequests, "requests to trace/recent"), nil, nil, s.handleTraceRecent))
 	s.mux.HandleFunc("/", s.instrument(
-		reg.Counter(MetricOtherRequests, "requests to unknown endpoints"),
+		reg.Counter(MetricOtherRequests, "requests to unknown endpoints"), nil, nil,
 		func(w http.ResponseWriter, r *http.Request) {
-			s.writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no such endpoint %s", r.URL.Path))
+			s.writeError(w, r, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no such endpoint %s", r.URL.Path))
 		}))
 	return s
 }
@@ -147,8 +239,15 @@ func New(cfg Config) *Server {
 // Registry returns the metrics registry the server records into.
 func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
+// Traces returns the server's trace ring buffer.
+func (s *Server) Traces() *telemetry.TraceBuffer { return s.traces }
+
 // Handler returns the service's root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// TraceHandler returns a standalone handler for the recent-traces
+// endpoint, for mounting on a separate debug listener next to pprof.
+func (s *Server) TraceHandler() http.Handler { return http.HandlerFunc(s.handleTraceRecent) }
 
 // Serve accepts on ln until ctx is canceled, then drains: the listener
 // closes immediately, in-flight requests get up to drainTimeout to
@@ -176,47 +275,108 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, drainTimeout time.D
 	return nil
 }
 
-// instrument wraps a handler with the request/error/latency/in-flight
-// accounting every endpoint shares. The per-endpoint counter is
-// registered by the caller (New) under a package const, so every
-// exported name stays statically auditable.
-func (s *Server) instrument(perEndpoint *telemetry.Counter, h http.HandlerFunc) http.HandlerFunc {
+// instrument wraps a handler with the request-scoped plumbing every
+// endpoint shares: request/error/latency/in-flight accounting, request
+// ID assignment and echo, trace-header propagation, and — for the
+// data-plane endpoints — a server span plus SLO histograms. The
+// per-endpoint counter is registered by the caller (New) under a
+// package const, so every exported name stays statically auditable;
+// traceStart (nil for untraced endpoints) is a closure whose StartSpan
+// call site likewise names its span with a const.
+func (s *Server) instrument(perEndpoint *telemetry.Counter, slo *sloHists,
+	traceStart func(context.Context) (context.Context, *telemetry.TraceSpan), h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.requests.Inc()
 		perEndpoint.Inc()
 		s.inFlightG.Set(float64(s.inFlight.Add(1)))
-		cw := &countingResponseWriter{ResponseWriter: w, status: http.StatusOK}
+
+		reqID := sanitizeRequestID(r.Header.Get(HeaderRequestID))
+		if reqID == "" {
+			reqID = telemetry.NewRequestID()
+		}
+		w.Header().Set(HeaderRequestID, reqID)
+		ctx := telemetry.ContextWithRequestID(r.Context(), reqID)
+		if sc, ok := telemetry.ParseSpanContext(r.Header.Get(HeaderTrace)); ok {
+			ctx = telemetry.ContextWithSpan(ctx, sc)
+		}
+		var sp *telemetry.TraceSpan
+		if traceStart != nil {
+			ctx, sp = traceStart(ctx)
+		}
+		r = r.WithContext(ctx)
+
+		cw := &countingResponseWriter{ResponseWriter: w, status: http.StatusOK, start: start}
 		defer func() {
 			s.inFlightG.Set(float64(s.inFlight.Add(-1)))
-			s.latency.Observe(time.Since(start).Seconds())
+			elapsed := time.Since(start).Seconds()
+			s.latency.Observe(elapsed)
 			s.bytesOut.Add(cw.written)
-			if cw.status >= 400 {
+			ok := cw.status < 400
+			if !ok {
 				s.errs.Inc()
 			}
+			if slo != nil {
+				firstByte := elapsed
+				if cw.firstByte > 0 {
+					firstByte = cw.firstByte.Seconds()
+				}
+				slo.observe(ok, firstByte, elapsed)
+			}
+			sp.End(telemetry.F("status", cw.status), telemetry.F("endpoint", r.URL.Path))
 		}()
 		h(cw, r)
 	}
 }
 
-// countingResponseWriter tracks status and bytes for the metrics layer.
+// sanitizeRequestID accepts a caller-supplied request ID only when it
+// is 1–64 bytes of [0-9A-Za-z._-]; anything else (including absence)
+// makes the server assign its own. Request IDs land in log lines, span
+// records and response headers, so the grammar is deliberately narrow.
+func sanitizeRequestID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// countingResponseWriter tracks status, bytes and time-to-first-byte
+// for the metrics layer.
 type countingResponseWriter struct {
 	http.ResponseWriter
-	status  int
-	written int64
-	wrote   bool
+	status    int
+	written   int64
+	wrote     bool
+	start     time.Time
+	firstByte time.Duration // offset from start of the first header/body write
+}
+
+func (w *countingResponseWriter) markFirst() {
+	if !w.wrote {
+		w.wrote = true
+		w.firstByte = time.Since(w.start)
+	}
 }
 
 func (w *countingResponseWriter) WriteHeader(status int) {
 	if !w.wrote {
 		w.status = status
-		w.wrote = true
 	}
+	w.markFirst()
 	w.ResponseWriter.WriteHeader(status)
 }
 
 func (w *countingResponseWriter) Write(p []byte) (int, error) {
-	w.wrote = true
+	w.markFirst()
 	n, err := w.ResponseWriter.Write(p)
 	w.written += int64(n)
 	return n, err
@@ -230,28 +390,30 @@ func (w *countingResponseWriter) Flush() {
 	}
 }
 
-// writeError sends the structured JSON error envelope.
-func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+// writeError sends the structured JSON error envelope, stamped with
+// the request's ID so the failure joins to its server-side trace.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
-	_ = enc.Encode(ErrorBody{Error: ErrorDetail{Code: code, Message: msg}}) //nolint:errcheck // response already committed
+	detail := ErrorDetail{Code: code, Message: msg, RequestID: telemetry.RequestIDFromContext(r.Context())}
+	_ = enc.Encode(ErrorBody{Error: detail}) //nolint:errcheck // response already committed
 }
 
 // mapError classifies a pipeline error onto a status + code.
-func (s *Server) mapError(w http.ResponseWriter, err error) {
+func (s *Server) mapError(w http.ResponseWriter, r *http.Request, err error) {
 	var maxBytes *http.MaxBytesError
 	switch {
 	case errors.As(err, &maxBytes):
-		s.writeError(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+		s.writeError(w, r, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
 			fmt.Sprintf("request body exceeds %d bytes", maxBytes.Limit))
 	case errors.Is(err, context.DeadlineExceeded):
-		s.writeError(w, http.StatusRequestTimeout, CodeTimeout, "request timed out")
+		s.writeError(w, r, http.StatusRequestTimeout, CodeTimeout, "request timed out")
 	case errors.Is(err, context.Canceled):
 		// The client went away; the status is best-effort.
-		s.writeError(w, 499, CodeCanceled, "request canceled")
+		s.writeError(w, r, 499, CodeCanceled, "request canceled")
 	default:
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		s.writeError(w, r, http.StatusBadRequest, CodeBadRequest, err.Error())
 	}
 }
 
@@ -259,7 +421,7 @@ func (s *Server) mapError(w http.ResponseWriter, err error) {
 func (s *Server) requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 	if r.Method != method {
 		w.Header().Set("Allow", method)
-		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+		s.writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
 			fmt.Sprintf("%s requires %s", r.URL.Path, method))
 		return false
 	}
@@ -268,9 +430,9 @@ func (s *Server) requireMethod(w http.ResponseWriter, r *http.Request, method st
 
 // checkDraining rejects new work once graceful drain has begun (only
 // reachable over an already-open keep-alive connection).
-func (s *Server) checkDraining(w http.ResponseWriter) bool {
+func (s *Server) checkDraining(w http.ResponseWriter, r *http.Request) bool {
 	if s.draining.Load() {
-		s.writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		s.writeError(w, r, http.StatusServiceUnavailable, CodeDraining, "server is draining")
 		return false
 	}
 	return true
@@ -280,12 +442,12 @@ func (s *Server) checkDraining(w http.ResponseWriter) bool {
 // configuration on the parallel pool, and streams back a wire
 // container.
 func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
-	if !s.requireMethod(w, r, http.MethodPost) || !s.checkDraining(w) {
+	if !s.requireMethod(w, r, http.MethodPost) || !s.checkDraining(w, r) {
 		return
 	}
 	cfg, shard, err := ParseCompressQuery(r.URL.Query())
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		s.writeError(w, r, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
@@ -294,24 +456,24 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	ts, err := lzwtc.ReadTestSet(body)
 	if err != nil {
-		s.mapError(w, err)
+		s.mapError(w, r, err)
 		return
 	}
 	s.bytesIn.Add(int64(approxCubeBytes(ts)))
 
-	opts := lzwtc.BatchOptions{Workers: s.cfg.Workers, Policy: lzwtc.FailFast, Recorder: s.cfg.Recorder}
+	opts := lzwtc.BatchOptions{Workers: s.cfg.Workers, Policy: lzwtc.FailFast, Recorder: s.rec}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if shard > 0 {
 		sr, err := lzwtc.CompressSharded(ctx, ts, cfg, shard, opts)
 		if err != nil {
-			s.mapError(w, err)
+			s.mapError(w, r, err)
 			return
 		}
 		w.Header().Set(HeaderPatterns, strconv.Itoa(sr.Patterns))
 		w.Header().Set(HeaderWidth, strconv.Itoa(sr.Width))
 		w.Header().Set(HeaderRatio, strconv.FormatFloat(sr.Ratio(), 'g', -1, 64))
 		w.Header().Set(HeaderShards, strconv.Itoa(len(sr.Shards)))
-		if err := lzwtc.WriteWireSharded(w, sr); err != nil {
+		if err := lzwtc.WriteWireShardedObserved(ctx, w, sr, s.rec); err != nil {
 			return // headers already sent; the client sees a truncated (EOS-less) stream
 		}
 		s.patternsIn.Add(int64(sr.Patterns))
@@ -320,18 +482,18 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 
 	results, err := lzwtc.CompressBatch(ctx, []lzwtc.BatchJob{{Name: "request", Set: ts, Cfg: cfg}}, opts)
 	if err != nil {
-		s.mapError(w, err)
+		s.mapError(w, r, err)
 		return
 	}
 	if results[0].Err != nil {
-		s.mapError(w, results[0].Err)
+		s.mapError(w, r, results[0].Err)
 		return
 	}
 	res := results[0].Result
 	w.Header().Set(HeaderPatterns, strconv.Itoa(res.Patterns))
 	w.Header().Set(HeaderWidth, strconv.Itoa(res.Width))
 	w.Header().Set(HeaderRatio, strconv.FormatFloat(res.Ratio(), 'g', -1, 64))
-	if err := res.WriteWire(w); err != nil {
+	if err := res.WriteWireObserved(ctx, w, s.rec); err != nil {
 		return // mid-stream failure: truncation is detectable by the missing EOS
 	}
 	s.patternsIn.Add(int64(res.Patterns))
@@ -340,7 +502,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 // handleDecompress streams a wire container out of the body and returns
 // the fully specified cube text.
 func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
-	if !s.requireMethod(w, r, http.MethodPost) || !s.checkDraining(w) {
+	if !s.requireMethod(w, r, http.MethodPost) || !s.checkDraining(w, r) {
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
@@ -353,16 +515,16 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	}
 	done := make(chan result, 1)
 	go func() {
-		ts, err := lzwtc.DecompressWire(body)
+		ts, err := lzwtc.DecompressWireObserved(ctx, body, s.rec)
 		done <- result{ts, err}
 	}()
 	select {
 	case <-ctx.Done():
-		s.mapError(w, ctx.Err())
+		s.mapError(w, r, ctx.Err())
 		return
 	case res := <-done:
 		if res.err != nil {
-			s.mapError(w, res.err)
+			s.mapError(w, r, res.err)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -386,24 +548,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		InFlight:      s.inFlight.Load(),
 		Requests:      map[string]int64{},
 	}
+	resp.Errors = snap.CounterValue(MetricErrors)
+	resp.BytesIn = snap.CounterValue(MetricBytesIn)
+	resp.BytesOut = snap.CounterValue(MetricBytesOut)
+	resp.PatternsCompressed = snap.CounterValue(MetricPatternsIn)
+	resp.PatternsDecompressed = snap.CounterValue(MetricPatternsOut)
+	resp.DictPoolRecycles = snap.CounterValue(core.MetricDictPoolRecycles)
+	resp.DictPoolMisses = snap.CounterValue(core.MetricDictPoolMisses)
+	resp.Requests["total"] = snap.CounterValue(MetricRequests)
 	for _, c := range snap.Counters {
-		switch c.Name {
-		case MetricErrors:
-			resp.Errors = c.Value
-		case MetricBytesIn:
-			resp.BytesIn = c.Value
-		case MetricBytesOut:
-			resp.BytesOut = c.Value
-		case MetricPatternsIn:
-			resp.PatternsCompressed = c.Value
-		case MetricPatternsOut:
-			resp.PatternsDecompressed = c.Value
-		case MetricRequests:
-			resp.Requests["total"] = c.Value
-		default:
-			if name, ok := endpointOf(c.Name); ok {
-				resp.Requests[name] = c.Value
-			}
+		if name, ok := endpointOf(c.Name); ok {
+			resp.Requests[name] = c.Value
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -434,6 +589,33 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 	}
 	fmt.Fprintf(w, "{\"status\":%q}\n", status)
+}
+
+// handleTraceRecent serves the ring buffer's most recent traces as
+// JSON, newest first. ?n bounds the count (default and cap keep the
+// response small; the buffer itself is already capacity-bounded).
+func (s *Server) handleTraceRecent(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	n := 20
+	if v := r.URL.Query().Get("n"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p <= 0 || p > 1000 {
+			s.writeError(w, r, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("parameter n=%q must be an integer in [1,1000]", v))
+			return
+		}
+		n = p
+	}
+	resp := TraceRecentResponse{Traces: s.traces.Recent(n)}
+	if resp.Traces == nil {
+		resp.Traces = []telemetry.TraceRecord{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp) //nolint:errcheck // response already committed
 }
 
 // handleMetrics serves the Prometheus text exposition.

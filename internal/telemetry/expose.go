@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"strconv"
+	"strings"
 )
 
 // MarshalJSON renders the bucket with its upper bound as a string
@@ -88,12 +89,34 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 
 func writeHeader(w io.Writer, name, help, typ string) error {
 	if help != "" {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help)); err != nil {
 			return err
 		}
 	}
 	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
 	return err
+}
+
+// escapeHelp applies the Prometheus text-format HELP escaping:
+// backslash and newline must be escaped so a hostile or merely careless
+// help string cannot break the line-oriented exposition.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
 }
 
 // WriteText renders the snapshot as aligned human-readable text:

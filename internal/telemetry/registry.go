@@ -264,3 +264,39 @@ func (g *Registry) Snapshot() Snapshot {
 	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
 	return s
 }
+
+// CounterValue returns the named counter's value in this snapshot, or
+// zero when absent. The one lookup helper shared by every consumer that
+// projects a snapshot into a fixed schema (`lzwtc stats`, /v1/stats,
+// run records) so the projections cannot drift over which counters
+// exist.
+func (s Snapshot) CounterValue(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// GaugeValue returns the named gauge's value in this snapshot, or zero
+// when absent.
+func (s Snapshot) GaugeValue(name string) float64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// HistogramNamed returns the named histogram snapshot and whether it is
+// present.
+func (s Snapshot) HistogramNamed(name string) (HistogramSnapshot, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramSnapshot{}, false
+}

@@ -54,8 +54,23 @@ func (e Event) Field(key string) (any, bool) {
 
 // Sink consumes events. Sinks are driven under the Recorder's lock and
 // need no internal synchronization.
+//
+// A sink may additionally implement StepSink to opt out of the
+// high-volume per-step event stream; sinks without the method receive
+// everything.
 type Sink interface {
 	Emit(Event)
+}
+
+// StepSink is optionally implemented by sinks to declare whether they
+// consume per-step events (one per compressor iteration). A sink that
+// returns false still receives every event that is emitted, but a
+// recorder whose sinks all return false reports Tracing() == false, so
+// hot loops skip building step payloads entirely. The ring-buffer
+// TraceBuffer returns false; the text and JSONL sinks do not implement
+// the interface and so keep the full stream.
+type StepSink interface {
+	WantsSteps() bool
 }
 
 // SinkFunc adapts a function to the Sink interface.
@@ -68,11 +83,13 @@ func (f SinkFunc) Emit(ev Event) { f(ev) }
 // A nil Recorder is the disabled instrumentation: every method is a
 // nil-safe no-op, so callers thread one pointer unconditionally.
 type Recorder struct {
-	reg   *Registry
-	sinks []Sink
-	now   func() time.Time
-	start time.Time
-	mu    sync.Mutex // serializes sink emission
+	reg     *Registry
+	sinks   []Sink
+	now     func() time.Time
+	start   time.Time
+	proc    string // process name stamped on trace spans; see WithProcess
+	tracing bool   // any sink wants per-step events; fixed at construction
+	mu      sync.Mutex // serializes sink emission
 }
 
 // New builds a Recorder over an optional registry and sinks. Either may
@@ -85,16 +102,26 @@ func New(reg *Registry, sinks ...Sink) *Recorder {
 // NewWithClock is New with an injected clock, for deterministic event
 // timestamps in tests and golden files.
 func NewWithClock(reg *Registry, now func() time.Time, sinks ...Sink) *Recorder {
-	return &Recorder{reg: reg, sinks: sinks, now: now, start: now()}
+	r := &Recorder{reg: reg, sinks: sinks, now: now, start: now()}
+	for _, s := range sinks {
+		if ss, ok := s.(StepSink); ok && !ss.WantsSteps() {
+			continue
+		}
+		r.tracing = true
+		break
+	}
+	return r
 }
 
 // Enabled reports whether any instrumentation is attached.
 func (r *Recorder) Enabled() bool { return r != nil }
 
-// Tracing reports whether per-step events have anywhere to go. Hot
-// loops gate the construction of expensive event payloads on this, so a
-// metrics-only recorder never pays for trace rendering.
-func (r *Recorder) Tracing() bool { return r != nil && len(r.sinks) > 0 }
+// Tracing reports whether per-step events have anywhere to go: at
+// least one sink that does not opt out via StepSink. Hot loops gate
+// the construction of expensive event payloads on this, so a
+// metrics-only recorder — or one feeding only the trace ring buffer —
+// never pays for step rendering.
+func (r *Recorder) Tracing() bool { return r != nil && r.tracing }
 
 // Registry returns the metrics registry, or nil when disabled.
 func (r *Recorder) Registry() *Registry {
@@ -105,6 +132,9 @@ func (r *Recorder) Registry() *Registry {
 }
 
 // Emit delivers an event to every sink. No-op when disabled or sinkless.
+// A sink that panics is disabled and skipped from then on; the panic
+// never escapes to the instrumented caller and never poisons the other
+// sinks or the recorder's lock.
 func (r *Recorder) Emit(kind string, fields ...Field) {
 	if r == nil || len(r.sinks) == 0 {
 		return
@@ -112,9 +142,24 @@ func (r *Recorder) Emit(kind string, fields ...Field) {
 	ev := Event{Elapsed: r.now().Sub(r.start), Kind: kind, Fields: fields}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for _, s := range r.sinks {
-		s.Emit(ev)
+	for i, s := range r.sinks {
+		if s == nil {
+			continue
+		}
+		emitContained(r, i, s, ev)
 	}
+}
+
+// emitContained drives one sink, converting a panic into permanent
+// removal of that sink. Split out so the recover scope covers exactly
+// one sink per event.
+func emitContained(r *Recorder, i int, s Sink, ev Event) {
+	defer func() {
+		if recover() != nil {
+			r.sinks[i] = nil
+		}
+	}()
+	s.Emit(ev)
 }
 
 // Span starts a named phase span (parse, compress, pack, decompress,

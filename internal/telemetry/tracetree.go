@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Trace reconstruction: turning a flat stream of SpanRecords (from a
+// JSONL sink file or /debug/trace/recent) back into per-request span
+// trees with self/total timing and a critical path. This is the read
+// side of the tracing layer; it never runs in the hot path.
+
+// ReadSpansJSONL reads a JSONL event stream (as written by JSONLSink)
+// and returns the trace.span records in file order, skipping every
+// other event kind and any unparsable line. A trace file mixed with
+// step and run events therefore still loads.
+func ReadSpansJSONL(r io.Reader) ([]SpanRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []SpanRecord
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var raw map[string]any
+		if err := json.Unmarshal(line, &raw); err != nil {
+			continue
+		}
+		if kind, _ := raw["kind"].(string); kind != EventTraceSpan {
+			continue
+		}
+		rec := spanRecordFromRaw(raw)
+		if rec.TraceID == "" || rec.SpanID == "" {
+			continue
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("telemetry: reading span stream: %w", err)
+	}
+	return out, nil
+}
+
+// spanRecordFromRaw decodes one unmarshalled JSONL object. Unknown
+// string-valued fields become Attrs, mirroring SpanRecordFromEvent.
+func spanRecordFromRaw(raw map[string]any) SpanRecord {
+	var rec SpanRecord
+	str := func(k string) string { s, _ := raw[k].(string); return s }
+	num := func(k string) int64 {
+		if f, ok := raw[k].(float64); ok {
+			return int64(f)
+		}
+		return 0
+	}
+	rec.TraceID = str("trace_id")
+	rec.SpanID = str("span_id")
+	rec.ParentID = str("parent_id")
+	rec.Name = str("name")
+	rec.Process = str("proc")
+	rec.RequestID = str("request_id")
+	rec.StartUnixUS = num("start_unix_us")
+	rec.DurUS = num("dur_us")
+	for k, v := range raw {
+		switch k {
+		case "t_us", "kind", "trace_id", "span_id", "parent_id", "name",
+			"proc", "request_id", "start_unix_us", "dur_us":
+		default:
+			if rec.Attrs == nil {
+				rec.Attrs = make(map[string]string)
+			}
+			rec.Attrs[k] = fmt.Sprintf("%v", v)
+		}
+	}
+	return rec
+}
+
+// SpanNode is one span in a reconstructed trace tree.
+type SpanNode struct {
+	SpanRecord
+	Children []*SpanNode
+}
+
+// Self returns the span's self time in microseconds: its duration minus
+// the summed durations of its direct children, clamped at zero (clock
+// skew between processes can make children appear longer than the
+// parent).
+func (n *SpanNode) Self() int64 {
+	self := n.DurUS
+	for _, c := range n.Children {
+		self -= c.DurUS
+	}
+	if self < 0 {
+		self = 0
+	}
+	return self
+}
+
+// Trace is one reconstructed request tree. Roots holds every span whose
+// parent is absent from the record set — normally one (the client or
+// server entry span), but orphaned subtrees surface as extra roots
+// rather than disappearing.
+type Trace struct {
+	TraceID string
+	Roots   []*SpanNode
+}
+
+// CollectTraces groups span records by trace ID (preserving first-seen
+// trace order) and links each trace's spans into parent/child trees.
+// Children are sorted by start time, then by emission order.
+func CollectTraces(recs []SpanRecord) []*Trace {
+	byTrace := map[string][]SpanRecord{}
+	var order []string
+	for _, r := range recs {
+		if _, ok := byTrace[r.TraceID]; !ok {
+			order = append(order, r.TraceID)
+		}
+		byTrace[r.TraceID] = append(byTrace[r.TraceID], r)
+	}
+	out := make([]*Trace, 0, len(order))
+	for _, id := range order {
+		out = append(out, buildTree(id, byTrace[id]))
+	}
+	return out
+}
+
+func buildTree(traceID string, recs []SpanRecord) *Trace {
+	nodes := make([]*SpanNode, len(recs))
+	byID := make(map[string]*SpanNode, len(recs))
+	for i, r := range recs {
+		nodes[i] = &SpanNode{SpanRecord: r}
+		// Last record wins on a duplicated span ID; duplicates only
+		// arise from merging overlapping record sets.
+		byID[r.SpanID] = nodes[i]
+	}
+	tr := &Trace{TraceID: traceID}
+	for _, n := range nodes {
+		if p, ok := byID[n.ParentID]; ok && n.ParentID != "" && p != n {
+			p.Children = append(p.Children, n)
+		} else {
+			tr.Roots = append(tr.Roots, n)
+		}
+	}
+	var sortKids func(n *SpanNode)
+	sortKids = func(n *SpanNode) {
+		sort.SliceStable(n.Children, func(i, j int) bool {
+			return n.Children[i].StartUnixUS < n.Children[j].StartUnixUS
+		})
+		for _, c := range n.Children {
+			sortKids(c)
+		}
+	}
+	sort.SliceStable(tr.Roots, func(i, j int) bool {
+		return tr.Roots[i].StartUnixUS < tr.Roots[j].StartUnixUS
+	})
+	for _, r := range tr.Roots {
+		sortKids(r)
+	}
+	return tr
+}
+
+// Spans returns every span in the trace in depth-first order.
+func (t *Trace) Spans() []*SpanNode {
+	var out []*SpanNode
+	var walk func(n *SpanNode)
+	walk = func(n *SpanNode) {
+		out = append(out, n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	return out
+}
+
+// CriticalPath returns the chain from the first root down through the
+// longest-duration child at each level: the spans that bound the
+// request's wall-clock time.
+func (t *Trace) CriticalPath() []*SpanNode {
+	if len(t.Roots) == 0 {
+		return nil
+	}
+	var path []*SpanNode
+	n := t.Roots[0]
+	for n != nil {
+		path = append(path, n)
+		var next *SpanNode
+		for _, c := range n.Children {
+			if next == nil || c.DurUS > next.DurUS {
+				next = c
+			}
+		}
+		n = next
+	}
+	return path
+}

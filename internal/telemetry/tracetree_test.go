@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// spanLine builds one JSONL trace.span line from key/value pairs.
+func spanLine(pairs ...string) string {
+	var b strings.Builder
+	b.WriteString(`{"t_us":1,"kind":"trace.span"`)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		b.WriteString(`,"` + pairs[i] + `":`)
+		v := pairs[i+1]
+		if strings.IndexFunc(v, func(r rune) bool { return r < '0' || r > '9' }) < 0 && v != "" {
+			b.WriteString(v)
+		} else {
+			b.WriteString(`"` + v + `"`)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func TestReadSpansJSONLSkipsNoise(t *testing.T) {
+	input := `{"t_us":1,"kind":"run","config":"x"}
+not json at all
+` + spanLine("trace_id", "t1", "span_id", "a", "name", "root.op",
+		"start_unix_us", "100", "dur_us", "50", "verb", "compress") +
+		`{"t_us":2,"kind":"step","sym":"X"}
+{"t_us":3,"kind":"trace.span","span_id":"missing-trace"}
+` + spanLine("trace_id", "t1", "span_id", "b", "parent_id", "a", "name", "child.op",
+		"start_unix_us", "110", "dur_us", "20")
+
+	recs, err := ReadSpansJSONL(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2 (noise not skipped): %+v", len(recs), recs)
+	}
+	if recs[0].Name != "root.op" || recs[1].Name != "child.op" {
+		t.Fatalf("wrong records: %+v", recs)
+	}
+	if recs[0].Attrs["verb"] != "compress" {
+		t.Fatalf("extra field not captured as attr: %+v", recs[0].Attrs)
+	}
+	if recs[1].ParentID != "a" || recs[1].StartUnixUS != 110 || recs[1].DurUS != 20 {
+		t.Fatalf("numeric/parent fields wrong: %+v", recs[1])
+	}
+}
+
+func TestCollectTracesShapesAndOrphans(t *testing.T) {
+	recs := []SpanRecord{
+		{TraceID: "t2", SpanID: "x", Name: "other.root", StartUnixUS: 5, DurUS: 10},
+		{TraceID: "t1", SpanID: "r", Name: "root", StartUnixUS: 0, DurUS: 100},
+		{TraceID: "t1", SpanID: "c2", ParentID: "r", Name: "late", StartUnixUS: 60, DurUS: 30},
+		{TraceID: "t1", SpanID: "c1", ParentID: "r", Name: "early", StartUnixUS: 10, DurUS: 40},
+		{TraceID: "t1", SpanID: "o", ParentID: "gone", Name: "orphan", StartUnixUS: 20, DurUS: 5},
+	}
+	traces := CollectTraces(recs)
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces, want 2", len(traces))
+	}
+	// First-seen trace order is preserved.
+	if traces[0].TraceID != "t2" || traces[1].TraceID != "t1" {
+		t.Fatalf("trace order = %s,%s", traces[0].TraceID, traces[1].TraceID)
+	}
+	t1 := traces[1]
+	// The orphan (parent absent from the set) surfaces as an extra root
+	// rather than vanishing.
+	if len(t1.Roots) != 2 {
+		t.Fatalf("t1 roots = %d, want 2 (root + orphan)", len(t1.Roots))
+	}
+	root := t1.Roots[0]
+	if root.Name != "root" || t1.Roots[1].Name != "orphan" {
+		t.Fatalf("root order = %s,%s", root.Name, t1.Roots[1].Name)
+	}
+	// Children sorted by start time.
+	if len(root.Children) != 2 || root.Children[0].Name != "early" || root.Children[1].Name != "late" {
+		t.Fatalf("children = %+v", root.Children)
+	}
+	// Self time = own duration minus direct children.
+	if got := root.Self(); got != 100-40-30 {
+		t.Fatalf("root self = %d, want 30", got)
+	}
+	// Self clamps at zero when children overrun the parent (clock skew).
+	skew := &SpanNode{SpanRecord: SpanRecord{DurUS: 10},
+		Children: []*SpanNode{{SpanRecord: SpanRecord{DurUS: 25}}}}
+	if got := skew.Self(); got != 0 {
+		t.Fatalf("skewed self = %d, want 0", got)
+	}
+
+	// DFS span order: root, early, late, orphan.
+	var names []string
+	for _, n := range t1.Spans() {
+		names = append(names, n.Name)
+	}
+	if strings.Join(names, ",") != "root,early,late,orphan" {
+		t.Fatalf("DFS order = %v", names)
+	}
+
+	// Critical path descends through the longest child at each level.
+	var path []string
+	for _, n := range t1.CriticalPath() {
+		path = append(path, n.Name)
+	}
+	if strings.Join(path, ",") != "root,early" {
+		t.Fatalf("critical path = %v", path)
+	}
+	if (&Trace{}).CriticalPath() != nil {
+		t.Fatal("empty trace has a critical path")
+	}
+}

@@ -1,6 +1,7 @@
 package lzwtc
 
 import (
+	"context"
 	"fmt"
 
 	"lzwtc/internal/ate"
@@ -19,14 +20,24 @@ type Recorder = telemetry.Recorder
 // recorder: per-code histograms into its registry and a compress.run
 // event record to its sinks. A nil recorder reduces to Compress.
 func CompressObserved(ts *TestSet, cfg Config, rec *Recorder) (*Result, error) {
+	return CompressObservedCtx(context.Background(), ts, cfg, rec)
+}
+
+// CompressObservedCtx is CompressObserved threaded through a context:
+// when ctx carries a trace span, serialization and the core phases are
+// recorded as child spans, so a request trace attributes the whole
+// single-stream pipeline. A nil recorder reduces to Compress.
+func CompressObservedCtx(ctx context.Context, ts *TestSet, cfg Config, rec *Recorder) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if len(ts.Cubes) == 0 {
 		return nil, fmt.Errorf("lzwtc: empty test set")
 	}
+	_, ssp := rec.StartSpan(ctx, core.SpanSerialize)
 	stream := ts.SerializeAligned(cfg.CharBits)
-	res, err := core.CompressObserved(stream, cfg, rec)
+	ssp.End(telemetry.F("bits", stream.Len()))
+	res, err := core.CompressObservedCtx(ctx, stream, cfg, rec)
 	if err != nil {
 		return nil, err
 	}

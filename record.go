@@ -187,23 +187,14 @@ func NewShardedRunRecord(s *ShardedResult) RunRecord {
 // out of a registry snapshot into the record (no-ops for metrics the
 // snapshot lacks).
 func (r *RunRecord) AttachHistograms(snap telemetry.Snapshot) {
-	for i := range snap.Histograms {
-		h := snap.Histograms[i]
-		switch h.Name {
-		case core.MetricCompressMatchLen:
-			r.Compress.MatchLenHist = &h
-		case core.MetricCompressOccupancy:
-			r.Compress.OccupancyHist = &h
-		}
+	if h, ok := snap.HistogramNamed(core.MetricCompressMatchLen); ok {
+		r.Compress.MatchLenHist = &h
 	}
-	for _, c := range snap.Counters {
-		switch c.Name {
-		case core.MetricDictPoolRecycles:
-			r.Compress.DictPoolRecycles = c.Value
-		case core.MetricDictPoolMisses:
-			r.Compress.DictPoolMisses = c.Value
-		}
+	if h, ok := snap.HistogramNamed(core.MetricCompressOccupancy); ok {
+		r.Compress.OccupancyHist = &h
 	}
+	r.Compress.DictPoolRecycles = snap.CounterValue(core.MetricDictPoolRecycles)
+	r.Compress.DictPoolMisses = snap.CounterValue(core.MetricDictPoolMisses)
 }
 
 // AttachDownload records a download simulation's cycle accounting.

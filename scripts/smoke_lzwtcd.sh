@@ -1,8 +1,10 @@
 #!/bin/sh
 # lzwtcd smoke: build the server and CLI, start the service on an
-# ephemeral port, push one compress/decompress round trip through
-# `lzwtc remote`, check /healthz and /v1/stats, then SIGTERM the server
-# and require a clean (exit 0) graceful drain.
+# ephemeral port (with the debug listener up), push one traced
+# compress/decompress round trip through `lzwtc remote`, check
+# /healthz, /v1/stats, /metrics SLO series, and /debug/trace/recent,
+# render the client-side trace with `lzwtc trace`, then SIGTERM the
+# server and require a clean (exit 0) graceful drain.
 set -eu
 
 WORK=$(mktemp -d)
@@ -11,28 +13,74 @@ trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 go build -o "$WORK/lzwtcd" ./cmd/lzwtcd
 go build -o "$WORK/lzwtc" ./cmd/lzwtc
 
-"$WORK/lzwtcd" -addr 127.0.0.1:0 >"$WORK/lzwtcd.log" 2>&1 &
+"$WORK/lzwtcd" -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0 \
+    -telemetry-out "$WORK/server-spans.jsonl" >"$WORK/lzwtcd.log" 2>&1 &
 SERVER_PID=$!
 
-# The server prints "lzwtcd: listening on ADDR" once the listener is up.
+# The server prints "lzwtcd: listening on ADDR" once the listener is up,
+# and "lzwtcd: debug listening on ADDR" for the debug listener.
 ADDR=""
 for _ in $(seq 1 50); do
-    ADDR=$(awk '/listening on/ {print $NF; exit}' "$WORK/lzwtcd.log" 2>/dev/null || true)
+    ADDR=$(awk '/^lzwtcd: listening on/ {print $NF; exit}' "$WORK/lzwtcd.log" 2>/dev/null || true)
     [ -n "$ADDR" ] && break
     sleep 0.1
 done
 [ -n "$ADDR" ] || { echo "lzwtcd never started"; cat "$WORK/lzwtcd.log"; exit 1; }
+DEBUG_ADDR=$(awk '/debug listening on/ {print $NF; exit}' "$WORK/lzwtcd.log")
+[ -n "$DEBUG_ADDR" ] || { echo "debug listener never started"; cat "$WORK/lzwtcd.log"; exit 1; }
 SERVER="http://$ADDR"
-echo "smoke: server at $SERVER"
+DEBUG="http://$DEBUG_ADDR"
+echo "smoke: server at $SERVER, debug at $DEBUG"
 
 "$WORK/lzwtc" remote health -server "$SERVER"
 
 IN=testdata/conformance/paper-slice.cubes
 "$WORK/lzwtc" remote compress -server "$SERVER" -in "$IN" -out "$WORK/out.lzw" \
-    -char 7 -dict 1024 -entry 63
+    -char 7 -dict 1024 -entry 63 \
+    -telemetry jsonl -telemetry-out "$WORK/spans.jsonl"
 "$WORK/lzwtc" remote decompress -server "$SERVER" -in "$WORK/out.lzw" -out "$WORK/filled.txt"
 "$WORK/lzwtc" verify -cubes "$IN" -filled "$WORK/filled.txt"
 "$WORK/lzwtc" remote stats -server "$SERVER"
+
+# The traced compress must render as a span tree with the client span
+# at the root.
+"$WORK/lzwtc" trace -in "$WORK/spans.jsonl" >"$WORK/trace.txt"
+grep -q "client.request" "$WORK/trace.txt" || {
+    echo "trace render missing client.request"; cat "$WORK/trace.txt"; exit 1; }
+
+# Merging the client's and the server's span streams must yield ONE
+# connected trace for the compress request: client and server spans
+# share the propagated trace ID, and the tree descends through the
+# handler and the pool into the core phases (>= 6 spans).
+cat "$WORK/spans.jsonl" "$WORK/server-spans.jsonl" >"$WORK/merged.jsonl"
+"$WORK/lzwtc" trace -in "$WORK/merged.jsonl" >"$WORK/merged-trace.txt"
+COMPRESS_BLOCK=$(awk -v RS= '/client\.request/' "$WORK/merged-trace.txt")
+for span in "client.request \[lzwtc\]" "server.compress \[lzwtcd\]" "core.match_loop \[lzwtcd\]"; do
+    echo "$COMPRESS_BLOCK" | grep -q "$span" || {
+        echo "merged trace block missing $span"
+        cat "$WORK/merged-trace.txt"; exit 1; }
+done
+SPAN_LINES=$(echo "$COMPRESS_BLOCK" | grep -c "total .*µs" || true)
+[ "$SPAN_LINES" -ge 6 ] || {
+    echo "merged compress trace has $SPAN_LINES spans, want >= 6"
+    cat "$WORK/merged-trace.txt"; exit 1; }
+echo "smoke: merged trace spans=$SPAN_LINES"
+
+# SLO accounting: the compress round trip must show up in the
+# span-derived success-latency series on /metrics.
+curl -fsS -o "$WORK/metrics.txt" "$SERVER/metrics"
+grep -q "lzwtcd_slo_compress_seconds_ok" "$WORK/metrics.txt" || {
+    echo "metrics missing SLO series"; exit 1; }
+
+# Live introspection: the ring buffer behind /debug/trace/recent (on
+# both the service and the debug listener) holds the server's trace of
+# the request we just sent.
+curl -fsS -o "$WORK/recent.json" "$SERVER/debug/trace/recent"
+grep -q "server.compress" "$WORK/recent.json" || {
+    echo "/debug/trace/recent missing server.compress span"; exit 1; }
+curl -fsS -o "$WORK/recent-debug.json" "$DEBUG/debug/trace/recent"
+grep -q "server.compress" "$WORK/recent-debug.json" || {
+    echo "debug listener trace endpoint missing server.compress span"; exit 1; }
 
 kill -TERM "$SERVER_PID"
 WAIT_STATUS=0

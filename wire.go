@@ -2,11 +2,13 @@ package lzwtc
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 
 	"lzwtc/internal/bitvec"
 	"lzwtc/internal/core"
+	"lzwtc/internal/telemetry"
 	"lzwtc/internal/wire"
 )
 
@@ -40,6 +42,33 @@ func (r *Result) WriteWire(w io.Writer) error {
 		return err
 	}
 	return ww.Close()
+}
+
+// Trace span names for wire-container framing, recorded by the
+// *Observed wire entry points.
+const (
+	SpanWireEncode = "wire.encode" // frame + CRC a container
+	SpanWireDecode = "wire.decode" // parse + verify + decompress a container
+)
+
+// WriteWireObserved is WriteWire wrapped in a SpanWireEncode trace
+// span: when ctx carries a span and rec has sinks, the container
+// framing (header, CRC, frame writes) is attributed in the request
+// trace. A nil recorder reduces to WriteWire.
+func (r *Result) WriteWireObserved(ctx context.Context, w io.Writer, rec *Recorder) error {
+	_, sp := rec.StartSpan(ctx, SpanWireEncode)
+	err := r.WriteWire(w)
+	sp.End(telemetry.F("frames", 1), telemetry.F("ok", err == nil))
+	return err
+}
+
+// WriteWireShardedObserved is WriteWireSharded wrapped in a
+// SpanWireEncode trace span carrying the frame count.
+func WriteWireShardedObserved(ctx context.Context, w io.Writer, s *ShardedResult, rec *Recorder) error {
+	_, sp := rec.StartSpan(ctx, SpanWireEncode)
+	err := WriteWireSharded(w, s)
+	sp.End(telemetry.F("frames", len(s.Shards)), telemetry.F("ok", err == nil))
+	return err
 }
 
 // EncodeWire renders the Result as one in-memory wire container.
@@ -113,9 +142,25 @@ func DecodeWireResult(data []byte) (*Result, error) {
 // whole container is verified: a corrupt or truncated stream returns a
 // typed error before (or instead of) partial output.
 func DecompressWire(r io.Reader) (*TestSet, error) {
+	return DecompressWireObserved(context.Background(), r, nil)
+}
+
+// DecompressWireObserved is DecompressWire instrumented for request
+// tracing: the whole container parse runs under a SpanWireDecode span
+// and each frame's software decompression is a nested core.decode
+// span, so sharded downloads show per-frame cost. A nil recorder
+// reduces to DecompressWire.
+func DecompressWireObserved(ctx context.Context, r io.Reader, rec *Recorder) (*TestSet, error) {
+	wctx, sp := rec.StartSpan(ctx, SpanWireDecode)
+	out, frames, err := decompressWire(wctx, r, rec)
+	sp.End(telemetry.F("frames", frames), telemetry.F("ok", err == nil))
+	return out, err
+}
+
+func decompressWire(ctx context.Context, r io.Reader, rec *Recorder) (*TestSet, int, error) {
 	wr, err := wire.NewReader(r)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	hdr := wr.Header()
 	out := NewTestSet(hdr.Width)
@@ -125,21 +170,21 @@ func DecompressWire(r io.Reader) (*TestSet, error) {
 			break
 		}
 		if err != nil {
-			return nil, err
+			return nil, wr.Frames(), err
 		}
-		stream, err := core.Decompress(f.Codes, hdr.Cfg, f.InputBits)
+		stream, err := core.DecompressObservedCtx(ctx, f.Codes, hdr.Cfg, f.InputBits, rec)
 		if err != nil {
-			return nil, fmt.Errorf("lzwtc: wire frame %d: %w", wr.Frames()-1, err)
+			return nil, wr.Frames(), fmt.Errorf("lzwtc: wire frame %d: %w", wr.Frames()-1, err)
 		}
 		group, err := bitvec.DeserializeAligned(stream, hdr.Width, hdr.Cfg.CharBits)
 		if err != nil {
-			return nil, fmt.Errorf("lzwtc: wire frame %d: %w", wr.Frames()-1, err)
+			return nil, wr.Frames(), fmt.Errorf("lzwtc: wire frame %d: %w", wr.Frames()-1, err)
 		}
 		if len(group.Cubes) != f.Patterns {
-			return nil, fmt.Errorf("lzwtc: wire frame %d decompressed to %d patterns, want %d",
+			return nil, wr.Frames(), fmt.Errorf("lzwtc: wire frame %d decompressed to %d patterns, want %d",
 				wr.Frames()-1, len(group.Cubes), f.Patterns)
 		}
 		out.Cubes = append(out.Cubes, group.Cubes...)
 	}
-	return out, nil
+	return out, wr.Frames(), nil
 }
