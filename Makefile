@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 
-.PHONY: build vet vet-concurrency test race lzwtcvet lzwtcvet-baseline dict-oracle fuzz telemetry-overhead trace-overhead batch-bench bench-json bench-gate cover lzwtcd-smoke verify
+.PHONY: build vet vet-concurrency test race lzwtcvet lzwtcvet-baseline dict-oracle fuzz telemetry-overhead trace-overhead batch-bench bench-json bench-gate cover lzwtcd-smoke loadgen-smoke verify
 
 build:
 	$(GO) build ./...
@@ -83,6 +83,13 @@ cover:
 lzwtcd-smoke:
 	sh scripts/smoke_lzwtcd.sh
 
+# Load smoke: 200 concurrent async clients against an undersized
+# per-tenant quota. Every operation must succeed byte-identically (the
+# 429s are absorbed by Retry-After backoff) and at least one throttle
+# must have fired, then the server must drain cleanly.
+loadgen-smoke:
+	sh scripts/smoke_loadgen.sh
+
 # Benchmark trajectory: run the single-stream perf grid (compress and
 # decompress ns/char, MB/s, allocs/op across C_C x X-density) and write
 # the committed trajectory point for this PR.
@@ -94,4 +101,4 @@ bench-json:
 bench-gate:
 	$(GO) run ./cmd/benchgen -bench -benchtime=1s -check BENCH_4.json -tolerance=0.10
 
-verify: build vet vet-concurrency test race lzwtcvet lzwtcvet-baseline dict-oracle fuzz telemetry-overhead trace-overhead batch-bench cover lzwtcd-smoke
+verify: build vet vet-concurrency test race lzwtcvet lzwtcvet-baseline dict-oracle fuzz telemetry-overhead trace-overhead batch-bench cover lzwtcd-smoke loadgen-smoke

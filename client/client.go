@@ -3,10 +3,12 @@
 // retry/backoff for transient failures.
 //
 // Requests are replayable by construction (bodies are buffered before
-// the first attempt), so the client retries connection errors and
-// gateway-class statuses (502/503/504) with exponential backoff,
-// honoring the context between attempts. Application errors (4xx) are
-// never retried; their structured error body surfaces as an *APIError.
+// the first attempt), so the client retries connection errors,
+// gateway-class statuses (502/503/504) and backpressure (429) with
+// exponential backoff, honoring the context between attempts. A 429's
+// Retry-After header overrides the computed delay (capped at
+// Options.MaxBackoff). Other application errors (4xx) are never
+// retried; their structured error body surfaces as an *APIError.
 package client
 
 import (
@@ -18,6 +20,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -48,6 +51,13 @@ type Options struct {
 	// and server spans merge into one trace. nil disables client spans;
 	// a span context already carried by the call's ctx still propagates.
 	Recorder *telemetry.Recorder
+	// APIKey identifies this client's tenant to the job tier (sent as
+	// X-Api-Key on every request). Empty shares the anonymous tenant.
+	APIKey string
+	// OnBackpressure, when set, observes every 429 the retry loop sees,
+	// with the delay the client is about to honor. Load generators and
+	// adaptive callers hook throttling accounting here.
+	OnBackpressure func(retryAfter time.Duration)
 }
 
 // Client talks to one lzwtcd instance.
@@ -97,6 +107,9 @@ type APIError struct {
 	// RequestID is the server-assigned (or echoed) request identifier
 	// from the error envelope, joinable to the server-side trace.
 	RequestID string
+	// RetryAfter is the response's Retry-After header as a duration, 0
+	// when absent. The retry loop prefers it over computed backoff.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -108,9 +121,11 @@ func (e *APIError) Error() string {
 }
 
 // retryable reports whether a response status is worth re-attempting.
+// 429 is backpressure, not failure: the service wants the same request
+// later, and says how much later in Retry-After.
 func retryable(status int) bool {
 	switch status {
-	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+	case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
 		return true
 	}
 	return false
@@ -138,20 +153,32 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		sp.End(telemetry.F("path", path), telemetry.F("attempts", attempts), telemetry.F("status", status))
 	}()
 	delay := c.opts.Backoff
+	var retryAfter time.Duration // server-directed delay from the last 429/503
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
 		attempts = attempt + 1
 		if attempt > 0 {
-			timer := time.NewTimer(delay)
+			wait := delay
+			delay *= 2
+			if delay > c.opts.MaxBackoff {
+				delay = c.opts.MaxBackoff
+			}
+			if retryAfter > 0 {
+				// Retry-After overrides the computed backoff but never
+				// exceeds the configured cap: a hostile or confused server
+				// must not park the client for minutes.
+				wait = retryAfter
+				if wait > c.opts.MaxBackoff {
+					wait = c.opts.MaxBackoff
+				}
+				retryAfter = 0
+			}
+			timer := time.NewTimer(wait)
 			select {
 			case <-ctx.Done():
 				timer.Stop()
 				return nil, ctx.Err()
 			case <-timer.C:
-			}
-			delay *= 2
-			if delay > c.opts.MaxBackoff {
-				delay = c.opts.MaxBackoff
 			}
 		}
 		req, err := http.NewRequestWithContext(ctx, method, u, bytes.NewReader(body))
@@ -160,6 +187,9 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		}
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
+		}
+		if c.opts.APIKey != "" {
+			req.Header.Set(server.HeaderAPIKey, c.opts.APIKey)
 		}
 		if sc, ok := telemetry.SpanFromContext(ctx); ok {
 			req.Header.Set(server.HeaderTrace, sc.String())
@@ -176,7 +206,22 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 			continue // connection-level failure: retry
 		}
 		if retryable(resp.StatusCode) && attempt < c.opts.Retries {
-			lastErr = decodeAPIError(resp)
+			apiErr := decodeAPIError(resp)
+			lastErr = apiErr
+			var ae *APIError
+			if errors.As(apiErr, &ae) {
+				retryAfter = ae.RetryAfter
+				if resp.StatusCode == http.StatusTooManyRequests && c.opts.OnBackpressure != nil {
+					wait := retryAfter
+					if wait <= 0 {
+						wait = delay
+					}
+					if wait > c.opts.MaxBackoff {
+						wait = c.opts.MaxBackoff
+					}
+					c.opts.OnBackpressure(wait)
+				}
+			}
 			continue
 		}
 		if resp.StatusCode/100 != 2 {
@@ -193,21 +238,35 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 func decodeAPIError(resp *http.Response) error {
 	defer resp.Body.Close() //nolint:errcheck // error body already read
 	reqID := resp.Header.Get(server.HeaderRequestID)
+	retryAfter := parseRetryAfter(resp.Header.Get(server.HeaderRetryAfter))
 	var envelope server.ErrorBody
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	if err != nil {
 		return &APIError{Status: resp.StatusCode, Code: "unreadable_body",
-			Message: fmt.Sprintf("reading error body: %v", err), RequestID: reqID}
+			Message: fmt.Sprintf("reading error body: %v", err), RequestID: reqID, RetryAfter: retryAfter}
 	}
 	if err := json.Unmarshal(data, &envelope); err != nil || envelope.Error.Code == "" {
 		return &APIError{Status: resp.StatusCode, Code: "unknown",
-			Message: strings.TrimSpace(string(data)), RequestID: reqID}
+			Message: strings.TrimSpace(string(data)), RequestID: reqID, RetryAfter: retryAfter}
 	}
 	if envelope.Error.RequestID != "" {
 		reqID = envelope.Error.RequestID
 	}
 	return &APIError{Status: resp.StatusCode, Code: envelope.Error.Code,
-		Message: envelope.Error.Message, RequestID: reqID}
+		Message: envelope.Error.Message, RequestID: reqID, RetryAfter: retryAfter}
+}
+
+// parseRetryAfter reads the delay-seconds form of Retry-After (the only
+// form lzwtcd emits); HTTP-date or garbage values parse as 0.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // CompressOptions tunes one remote compression.

@@ -128,6 +128,101 @@ func TestRetriesExhaustedWrapsLastError(t *testing.T) {
 	}
 }
 
+// TestRateLimitedRetryHonorsRetryAfter pins the 429 contract: the
+// status is retryable, the server's Retry-After steers the wait (not
+// the exponential schedule), the wait is capped by MaxBackoff so a
+// hostile header cannot park the client, and OnBackpressure observes
+// the throttle. One 429 followed by a 200 must succeed.
+func TestRateLimitedRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "30")
+			errJSON(w, http.StatusTooManyRequests, "rate_limited", "slow down")
+			return
+		}
+		_, _ = w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer srv.Close()
+
+	var waits []time.Duration
+	c := client.New(srv.URL, client.Options{
+		Retries: 2, Backoff: time.Millisecond, MaxBackoff: 100 * time.Millisecond,
+		OnBackpressure: func(d time.Duration) { waits = append(waits, d) },
+	})
+	start := time.Now()
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health after one 429: %v", err)
+	}
+	elapsed := time.Since(start)
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
+	}
+	// Retry-After (30s, capped to 100ms) must win over the 1ms
+	// exponential step, and the cap must win over the raw header.
+	if elapsed < 80*time.Millisecond {
+		t.Fatalf("retry fired after %v; Retry-After was ignored", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("retry waited %v; MaxBackoff cap was ignored", elapsed)
+	}
+	if len(waits) != 1 || waits[0] != 100*time.Millisecond {
+		t.Fatalf("OnBackpressure saw %v, want one capped 100ms wait", waits)
+	}
+}
+
+// TestRetryAfterCancelMidWait cancels the context while the client is
+// parked on a long Retry-After: the wait must end promptly with the
+// context error and no further attempt.
+func TestRetryAfterCancelMidWait(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "30")
+		errJSON(w, http.StatusTooManyRequests, "rate_limited", "slow down")
+	}))
+	defer srv.Close()
+
+	c := client.New(srv.URL, client.Options{Retries: 3, Backoff: time.Second, MaxBackoff: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(20*time.Millisecond, cancel)
+	defer timer.Stop()
+	defer cancel()
+
+	start := time.Now()
+	err := c.Health(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Health under canceled context: err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed >= 5*time.Second {
+		t.Fatalf("cancel mid-Retry-After took %v; the wait was not interrupted", elapsed)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
+	}
+}
+
+// TestRetryAfterGarbageHeader: an unparseable Retry-After is treated
+// as absent — the exponential schedule applies and RetryAfter is zero
+// on the surfaced error.
+func TestRetryAfterGarbageHeader(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "soon-ish")
+		errJSON(w, http.StatusTooManyRequests, "rate_limited", "slow down")
+	}))
+	defer srv.Close()
+
+	c := client.New(srv.URL, client.Options{Retries: 0})
+	err := c.Health(context.Background())
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.Status != http.StatusTooManyRequests || apiErr.RetryAfter != 0 {
+		t.Fatalf("APIError = %+v, want 429 with zero RetryAfter", apiErr)
+	}
+}
+
 // TestResponseBodyCap pins the hostile-service bound: a body larger
 // than Options.MaxResponseBytes is an error, not an unbounded buffer.
 func TestResponseBodyCap(t *testing.T) {

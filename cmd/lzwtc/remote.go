@@ -25,13 +25,22 @@ const SpanRemoteRun = "remote.run"
 //	lzwtc remote decompress -server URL -in cubes.lzw -out filled.txt
 //	lzwtc remote stats      -server URL
 //	lzwtc remote health     -server URL
+//	lzwtc remote submit     -server URL -in cubes.txt [-shard N] [-key K] [config flags]
+//	lzwtc remote poll       -server URL -job ID [-key K] [-wait]
+//	lzwtc remote fetch      -server URL -job ID [-key K] -out cubes.lzw [-wait]
+//	lzwtc remote cancel     -server URL -job ID [-key K]
+//
+// The job verbs drive the asynchronous tier: submit prints the job ID
+// on stdout (scriptable as J=$(lzwtc remote submit ...)), poll prints
+// the status document, fetch writes the finished container, cancel
+// requests cancellation. -key sets the X-Api-Key tenant.
 //
 // All verbs accept the shared observability flags; with -telemetry
 // jsonl the run records a remote.run root span plus the client.request
 // span for each HTTP call.
 func remote(ctx context.Context, args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: lzwtc remote {compress|decompress|stats|health} [flags]")
+		return fmt.Errorf("usage: lzwtc remote {compress|decompress|stats|health|submit|poll|fetch|cancel} [flags]")
 	}
 	verb, rest := args[0], args[1:]
 
@@ -39,9 +48,11 @@ func remote(ctx context.Context, args []string) error {
 	serverURL := fs.String("server", "http://127.0.0.1:8077", "lzwtcd base URL")
 	retries := fs.Int("retries", 2, "retry attempts for transient failures")
 	timeout := fs.Duration("timeout", 2*time.Minute, "overall deadline for the operation")
+	apiKey := fs.String("key", "", "API key identifying the job-tier tenant (X-Api-Key)")
 	topts := telemetryFlags(fs)
-	var in, out *string
+	var in, out, jobID *string
 	var shard *int
+	var wait *bool
 	var cfg *lzwtc.Config
 	switch verb {
 	case "compress":
@@ -53,11 +64,27 @@ func remote(ctx context.Context, args []string) error {
 		in = fs.String("in", "-", "input container (- for stdin)")
 		out = fs.String("out", "-", "output cube file (- for stdout)")
 	case "stats", "health":
+	case "submit":
+		in = fs.String("in", "-", "input cube file (- for stdin)")
+		shard = fs.Int("shard", 0, "patterns per shard frame (0 = single frame)")
+		cfg = configFlags(fs)
+	case "poll":
+		jobID = fs.String("job", "", "job ID to poll")
+		wait = fs.Bool("wait", false, "block until the job reaches a terminal state")
+	case "fetch":
+		jobID = fs.String("job", "", "job ID to fetch")
+		out = fs.String("out", "-", "output container (- for stdout)")
+		wait = fs.Bool("wait", false, "wait for the job to finish before fetching")
+	case "cancel":
+		jobID = fs.String("job", "", "job ID to cancel")
 	default:
-		return fmt.Errorf("remote: unknown verb %q (want compress, decompress, stats or health)", verb)
+		return fmt.Errorf("remote: unknown verb %q (want compress, decompress, stats, health, submit, poll, fetch or cancel)", verb)
 	}
 	if err := fs.Parse(rest); err != nil {
 		return err
+	}
+	if jobID != nil && *jobID == "" {
+		return fmt.Errorf("remote %s: -job is required", verb)
 	}
 
 	rec, finish, err := topts.start()
@@ -66,7 +93,7 @@ func remote(ctx context.Context, args []string) error {
 	}
 	ctx, cancel := context.WithTimeout(ctx, *timeout)
 	defer cancel()
-	c := client.New(*serverURL, client.Options{Retries: *retries, Recorder: rec})
+	c := client.New(*serverURL, client.Options{Retries: *retries, Recorder: rec, APIKey: *apiKey})
 
 	rctx, sp := rec.StartSpan(ctx, SpanRemoteRun)
 	switch verb {
@@ -78,6 +105,14 @@ func remote(ctx context.Context, args []string) error {
 		err = remoteStats(rctx, c)
 	case "health":
 		err = remoteHealth(rctx, c)
+	case "submit":
+		err = remoteSubmit(rctx, c, *in, *cfg, *shard)
+	case "poll":
+		err = remotePoll(rctx, c, *jobID, *wait)
+	case "fetch":
+		err = remoteFetch(rctx, c, *jobID, *out, *wait)
+	case "cancel":
+		err = remoteCancel(rctx, c, *jobID)
 	}
 	sp.End(telemetry.F("verb", verb), telemetry.F("ok", err == nil))
 	if err != nil {
@@ -99,6 +134,98 @@ func remoteStats(ctx context.Context, c *client.Client) error {
 		stats.PatternsCompressed, stats.PatternsDecompressed)
 	fmt.Printf("dict arena:    %d recycled, %d fresh\n",
 		stats.DictPoolRecycles, stats.DictPoolMisses)
+	j := stats.Jobs
+	fmt.Printf("jobs:          %d submitted (%d done, %d failed, %d canceled, %d expired, %d rejected); %d queued, %d running\n",
+		j.Submitted, j.Completed, j.Failed, j.Canceled, j.Expired, j.Rejected, j.Queued, j.Running)
+	return nil
+}
+
+// remoteSubmit queues an async compression and prints the job ID on
+// stdout (everything else goes to stderr, keeping the ID scriptable).
+func remoteSubmit(ctx context.Context, c *client.Client, in string, cfg lzwtc.Config, shard int) error {
+	r, err := openIn(in)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	ts, err := lzwtc.ReadTestSet(r)
+	if err != nil {
+		return err
+	}
+	st, err := c.SubmitCompressJob(ctx, ts, cfg, client.CompressOptions{ShardPatterns: shard})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "remote submitted %d patterns as job %s (%s)\n", len(ts.Cubes), st.ID, st.State)
+	fmt.Println(st.ID)
+	return nil
+}
+
+func printJobStatus(st *client.JobStatus) {
+	fmt.Printf("job:       %s\n", st.ID)
+	fmt.Printf("state:     %s\n", st.State)
+	fmt.Printf("frames:    %d/%d\n", st.FramesDone, st.FramesTotal)
+	if st.State == "done" {
+		fmt.Printf("patterns:  %d\n", st.Patterns)
+		fmt.Printf("ratio:     %.4f\n", st.Ratio)
+		fmt.Printf("result:    %d bytes\n", st.ResultBytes)
+	}
+	if st.Error != "" {
+		fmt.Printf("error:     %s\n", st.Error)
+	}
+}
+
+func remotePoll(ctx context.Context, c *client.Client, id string, wait bool) error {
+	var st *client.JobStatus
+	var err error
+	if wait {
+		st, err = c.WaitJob(ctx, id, 0)
+		// A failed or canceled job still has a status worth printing;
+		// the error propagates after.
+		if st != nil {
+			printJobStatus(st)
+		}
+		return err
+	}
+	st, err = c.JobStatus(ctx, id)
+	if err != nil {
+		return err
+	}
+	printJobStatus(st)
+	return nil
+}
+
+func remoteFetch(ctx context.Context, c *client.Client, id, out string, wait bool) error {
+	if wait {
+		if _, err := c.WaitJob(ctx, id, 0); err != nil {
+			return err
+		}
+	}
+	container, err := c.JobResult(ctx, id)
+	if err != nil {
+		return err
+	}
+	w, err := openOut(out)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if _, err := w.Write(container); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "remote fetched %d container bytes from job %s\n", len(container), id)
+	return nil
+}
+
+func remoteCancel(ctx context.Context, c *client.Client, id string) error {
+	st, err := c.CancelJob(ctx, id)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "remote canceled job %s (now %s)\n", id, st.State)
 	return nil
 }
 

@@ -4,11 +4,16 @@
 //
 //	lzwtcd [-addr :8077] [-max-body 67108864] [-timeout 60s] [-drain 30s] [-workers 0]
 //	       [-trace-capacity 64] [-telemetry-out spans.jsonl] [-debug-addr 127.0.0.1:8078]
+//	       [-jobs-queue 256] [-jobs-concurrent 2] [-jobs-ttl 5m]
+//	       [-jobs-rate 0] [-jobs-burst 0] [-jobs-max-active 0]
 //
 // The service answers POST /v1/compress and POST /v1/decompress with
 // streaming wire-format bodies, plus GET /v1/stats, /healthz, /metrics
 // and /debug/trace/recent (the in-memory ring of recent request
-// traces, sized by -trace-capacity). -telemetry-out streams every
+// traces, sized by -trace-capacity). POST /v1/jobs/compress admits
+// asynchronous compressions (status, result and cancel under
+// /v1/jobs/{id}); the -jobs-* flags size the queue, runner count,
+// result TTL and per-tenant quotas. -telemetry-out streams every
 // telemetry event — including trace.span records renderable by `lzwtc
 // trace` — to a JSONL file. -debug-addr opens a second listener (keep
 // it off the service port, e.g. loopback-only) carrying net/http/pprof
@@ -31,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"lzwtc/internal/jobs"
 	"lzwtc/internal/server"
 	"lzwtc/internal/telemetry"
 )
@@ -52,6 +58,12 @@ func run(args []string) error {
 	traceCap := fs.Int("trace-capacity", 64, "recent request traces retained for /debug/trace/recent")
 	telemetryOut := fs.String("telemetry-out", "", "stream JSONL telemetry events (incl. trace spans) to this file")
 	debugAddr := fs.String("debug-addr", "", "optional second listener for net/http/pprof and /debug/trace/recent")
+	jobQueue := fs.Int("jobs-queue", 0, "async job admission queue depth (0 = default 256)")
+	jobConcurrent := fs.Int("jobs-concurrent", 0, "async jobs running at once (0 = default 2)")
+	jobTTL := fs.Duration("jobs-ttl", 0, "finished-job result retention (0 = default 5m)")
+	jobRate := fs.Float64("jobs-rate", 0, "per-tenant job submissions per second (0 = unlimited)")
+	jobBurst := fs.Int("jobs-burst", 0, "per-tenant submission burst (0 = 1 when -jobs-rate is set)")
+	jobActive := fs.Int("jobs-max-active", 0, "per-tenant jobs queued or running at once (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,6 +98,14 @@ func run(args []string) error {
 		Workers:        *workers,
 		TraceCapacity:  *traceCap,
 		Sinks:          sinks,
+		JobQueueDepth:  *jobQueue,
+		JobConcurrent:  *jobConcurrent,
+		JobResultTTL:   *jobTTL,
+		JobQuota: jobs.Quota{
+			RatePerSec: *jobRate,
+			Burst:      *jobBurst,
+			MaxActive:  *jobActive,
+		},
 	})
 
 	// The debug listener is a separate http.Server on its own mux:

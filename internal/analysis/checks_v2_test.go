@@ -45,6 +45,10 @@ func WithCancel(parent Context) (Context, CancelFunc) { return parent, func() {}
 
 type Timer struct{ C chan int }
 
+type Time struct{ ns int64 }
+
+func (t Time) After(u Time) bool { return t.ns > u.ns }
+
 func After(d int64) <-chan int { return nil }
 
 func NewTimer(d int64) *Timer { return &Timer{} }
@@ -237,6 +241,18 @@ func PollGood(ctx context.Context) {
 		case <-t.C:
 		}
 	}
+}
+
+// CompareLoop calls the time.Time.After *method* in a loop. Must stay
+// clean: only the package-level time.After allocates a timer.
+func CompareLoop(ts []time.Time, cut time.Time) int {
+	n := 0
+	for _, u := range ts {
+		if u.After(cut) {
+			n++
+		}
+	}
+	return n
 }
 `},
 	}, "goctx")

@@ -284,7 +284,8 @@ func (c goctxCheck) checkTimeAfterLoops(pkg *Package, frame *ast.BlockStmt, repo
 			walkBody(n.Body.List, true, walk)
 		case *ast.CallExpr:
 			if callee := calleeFunc(pkg.Info, n.Fun); callee != nil &&
-				callee.Pkg() != nil && callee.Pkg().Path() == "time" && callee.Name() == "After" && inLoop {
+				callee.Pkg() != nil && callee.Pkg().Path() == "time" && callee.Name() == "After" && inLoop &&
+				isPackageFunc(callee) {
 				report(n, "time.After inside a loop allocates an uncollectable timer per iteration; use time.NewTimer or time.Ticker")
 			}
 			for _, a := range n.Args {
@@ -307,4 +308,12 @@ func (c goctxCheck) checkTimeAfterLoops(pkg *Package, frame *ast.BlockStmt, repo
 		}
 	}
 	walkBody(frame.List, false, walk)
+}
+
+// isPackageFunc reports whether f is a package-level function (no
+// receiver), distinguishing time.After from the time.Time.After
+// method, which is fine anywhere.
+func isPackageFunc(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
 }

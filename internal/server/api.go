@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"lzwtc/internal/core"
+	"lzwtc/internal/jobs"
 	"lzwtc/internal/telemetry"
 )
 
@@ -17,7 +18,17 @@ const (
 	PathHealth      = "/healthz"
 	PathMetrics     = "/metrics"
 	PathTraceRecent = "/debug/trace/recent"
+
+	// PathJobsCompress accepts asynchronous compressions: POST returns
+	// 202 plus a job ID instead of holding the connection open.
+	PathJobsCompress = "/v1/jobs/compress"
+	// PathJobs is the per-job prefix: GET {id} for status, GET
+	// {id}/result for the wire container, DELETE {id} to cancel.
+	PathJobs = "/v1/jobs/"
 )
+
+// JobResultSuffix selects a job's result document under PathJobs.
+const JobResultSuffix = "/result"
 
 // Query parameter names for /v1/compress. The values mirror the lzwtc
 // CLI flags and batch-manifest options.
@@ -48,6 +59,12 @@ const (
 	// HeaderRequestID carries (request) or echoes (response) the
 	// request identifier attached to span records and error envelopes.
 	HeaderRequestID = "X-Request-Id"
+	// HeaderAPIKey identifies the tenant for job-tier quota accounting.
+	// Absent or malformed keys fall back to the anonymous tenant.
+	HeaderAPIKey = "X-Api-Key"
+	// HeaderRetryAfter is the standard backpressure header every 429
+	// carries: seconds until a retry is expected to succeed.
+	HeaderRetryAfter = "Retry-After"
 )
 
 // ErrorBody is the structured error envelope every non-2xx response
@@ -75,6 +92,18 @@ const (
 	CodeCanceled         = "canceled"
 	CodeDraining         = "draining"
 	CodeInternal         = "internal"
+
+	// Job-tier codes. The three 429 codes mirror jobs.RejectError
+	// reasons verbatim so the client's backoff can distinguish a full
+	// queue from an exhausted quota.
+	CodeQueueFull   = "queue_full"
+	CodeRateLimited = "rate_limited"
+	CodeActiveLimit = "active_limit"
+	CodeJobNotFound = "job_not_found"
+	CodeJobExpired  = "job_expired"
+	CodeJobNotDone  = "job_not_done"
+	CodeJobFailed   = "job_failed"
+	CodeJobCanceled = "job_canceled"
 )
 
 // StatsResponse is the /v1/stats document. The dict-arena counters use
@@ -92,12 +121,72 @@ type StatsResponse struct {
 	PatternsDecompressed int64            `json:"patterns_decompressed"`
 	DictPoolRecycles     int64            `json:"dict_pool_recycles"`
 	DictPoolMisses       int64            `json:"dict_pool_misses"`
+	Jobs                 JobsStats        `json:"jobs"`
+}
+
+// JobsStats is the async-tier section of /v1/stats, mirroring the
+// internal/jobs registry counters plus the live queue/running gauges.
+type JobsStats struct {
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	Expired   int64 `json:"expired"`
+	Rejected  int64 `json:"rejected"`
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
 }
 
 // TraceRecentResponse is the /debug/trace/recent document: the most
 // recent traces in the server's ring buffer, newest first.
 type TraceRecentResponse struct {
 	Traces []telemetry.TraceRecord `json:"traces"`
+}
+
+// JobStatusResponse is one job's status document, served by POST
+// /v1/jobs/compress (202) and GET /v1/jobs/{id}. Timestamps use the
+// same microsecond-Unix convention as trace span records.
+type JobStatusResponse struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// FramesDone / FramesTotal are the progress feed: completed pool
+	// sub-jobs over expected (1/1 for unsharded compressions).
+	FramesDone  int `json:"frames_done"`
+	FramesTotal int `json:"frames_total"`
+	// Patterns / Ratio / ResultBytes are populated once the job is done.
+	Patterns       int     `json:"patterns,omitempty"`
+	Ratio          float64 `json:"ratio,omitempty"`
+	ResultBytes    int     `json:"result_bytes,omitempty"`
+	Error          string  `json:"error,omitempty"`
+	CreatedUnixUS  int64   `json:"created_unix_us"`
+	StartedUnixUS  int64   `json:"started_unix_us,omitempty"`
+	FinishedUnixUS int64   `json:"finished_unix_us,omitempty"`
+	ExpiresUnixUS  int64   `json:"expires_unix_us,omitempty"`
+}
+
+// JobStatusFrom converts a manager snapshot into the wire document.
+func JobStatusFrom(st jobs.Status) JobStatusResponse {
+	resp := JobStatusResponse{
+		ID:            st.ID,
+		State:         st.State.String(),
+		FramesDone:    st.FramesDone,
+		FramesTotal:   st.FramesTotal,
+		Patterns:      st.Patterns,
+		Ratio:         st.Ratio,
+		ResultBytes:   st.ResultBytes,
+		Error:         st.Error,
+		CreatedUnixUS: st.Created.UnixMicro(),
+	}
+	if !st.Started.IsZero() {
+		resp.StartedUnixUS = st.Started.UnixMicro()
+	}
+	if !st.Finished.IsZero() {
+		resp.FinishedUnixUS = st.Finished.UnixMicro()
+	}
+	if !st.Expires.IsZero() {
+		resp.ExpiresUnixUS = st.Expires.UnixMicro()
+	}
+	return resp
 }
 
 // EncodeCompressQuery renders a Config (and optional shard size) as

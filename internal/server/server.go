@@ -41,6 +41,7 @@ import (
 
 	"lzwtc"
 	"lzwtc/internal/core"
+	"lzwtc/internal/jobs"
 	"lzwtc/internal/telemetry"
 )
 
@@ -67,6 +68,12 @@ const (
 	MetricMetricsRequests    = "lzwtcd_metrics_requests_total"
 	MetricTraceRequests      = "lzwtcd_trace_requests_total"
 	MetricOtherRequests      = "lzwtcd_other_requests_total"
+
+	// Job-tier endpoints: submissions and the per-job status/result/
+	// cancel operations are counted separately, since one submission
+	// typically fans out into many polls.
+	MetricJobSubmitRequests = "lzwtcd_job_submit_requests_total"
+	MetricJobRequests       = "lzwtcd_job_requests_total"
 )
 
 // SLO latency histograms for the two data-plane endpoints. Each request
@@ -89,6 +96,12 @@ const (
 const (
 	SpanCompress   = "server.compress"
 	SpanDecompress = "server.decompress"
+	// SpanJobSubmit covers the synchronous part of an async submission
+	// (parse + admit). The job's own execution is the jobs.SpanJobRun
+	// span, linked under this one through the submit context. Status
+	// polls are deliberately untraced — hundreds per job would drown the
+	// trace ring.
+	SpanJobSubmit = "server.job.submit"
 )
 
 // processName stamps this server's trace spans, distinguishing them
@@ -121,6 +134,21 @@ type Config struct {
 	// Sinks receive the server's telemetry events (trace spans, run
 	// records) in addition to the built-in trace ring buffer. Optional.
 	Sinks []telemetry.Sink
+
+	// JobQueueDepth bounds admitted-but-not-running async jobs; <= 0
+	// means 256 (jobs.Config default).
+	JobQueueDepth int
+	// JobConcurrent bounds async jobs running at once; <= 0 means 2.
+	JobConcurrent int
+	// JobResultTTL is how long finished jobs and their results are
+	// retained; <= 0 means 5 minutes.
+	JobResultTTL time.Duration
+	// JobSweepInterval is the TTL sweeper cadence; <= 0 derives from
+	// JobResultTTL.
+	JobSweepInterval time.Duration
+	// JobQuota is the per-tenant admission policy for the job tier; the
+	// zero value admits everything.
+	JobQuota jobs.Quota
 }
 
 // Server is the lzwtcd HTTP service.
@@ -129,6 +157,8 @@ type Server struct {
 	reg      *telemetry.Registry
 	rec      *telemetry.Recorder
 	traces   *telemetry.TraceBuffer
+	sinks    []telemetry.Sink // recorder's sink set; per-job recorders extend it
+	jobs     *jobs.Manager
 	mux      *http.ServeMux
 	start    time.Time
 	inFlight atomic.Int64
@@ -185,6 +215,7 @@ func New(cfg Config) *Server {
 		reg:         reg,
 		rec:         telemetry.New(reg, sinks...).WithProcess(processName),
 		traces:      traces,
+		sinks:       sinks,
 		mux:         http.NewServeMux(),
 		start:       time.Now(),
 		requests:    reg.Counter(MetricRequests, "requests received"),
@@ -228,6 +259,21 @@ func New(cfg Config) *Server {
 		reg.Counter(MetricMetricsRequests, "requests to metrics"), nil, nil, s.handleMetrics))
 	s.mux.HandleFunc(PathTraceRecent, s.instrument(
 		reg.Counter(MetricTraceRequests, "requests to trace/recent"), nil, nil, s.handleTraceRecent))
+	s.jobs = jobs.NewManager(jobs.Config{
+		QueueDepth:    cfg.JobQueueDepth,
+		Concurrent:    cfg.JobConcurrent,
+		ResultTTL:     cfg.JobResultTTL,
+		SweepInterval: cfg.JobSweepInterval,
+		Quota:         cfg.JobQuota,
+		Recorder:      s.rec,
+	})
+	s.mux.HandleFunc(PathJobsCompress, s.instrument(
+		reg.Counter(MetricJobSubmitRequests, "async job submissions"), nil,
+		func(ctx context.Context) (context.Context, *telemetry.TraceSpan) {
+			return s.rec.StartSpan(ctx, SpanJobSubmit)
+		}, s.handleJobSubmit))
+	s.mux.HandleFunc(PathJobs, s.instrument(
+		reg.Counter(MetricJobRequests, "job status/result/cancel operations"), nil, nil, s.handleJobs))
 	s.mux.HandleFunc("/", s.instrument(
 		reg.Counter(MetricOtherRequests, "requests to unknown endpoints"), nil, nil,
 		func(w http.ResponseWriter, r *http.Request) {
@@ -244,6 +290,16 @@ func (s *Server) Traces() *telemetry.TraceBuffer { return s.traces }
 
 // Handler returns the service's root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Jobs returns the async job manager, for tests and embedders that
+// drive the tier directly.
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
+// Close releases the server's background resources: remaining async
+// jobs are canceled and the job manager's goroutines stopped. Serve
+// calls it after a drain; handler-only embedders (httptest) must call
+// it themselves.
+func (s *Server) Close() { s.jobs.Close() }
 
 // TraceHandler returns a standalone handler for the recent-traces
 // endpoint, for mounting on a separate debug listener next to pprof.
@@ -267,7 +323,16 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, drainTimeout time.D
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		hs.Close() //nolint:errcheck // best-effort hard stop after failed drain
+		s.Close()
 		return fmt.Errorf("server: drain: %w", err)
+	}
+	// In-flight requests are done; let admitted async jobs finish inside
+	// the same drain budget, then stop the manager (canceling whatever
+	// the budget did not cover).
+	drainErr := s.jobs.Drain(shutdownCtx)
+	s.Close()
+	if drainErr != nil {
+		return fmt.Errorf("server: drain: %w", drainErr)
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
@@ -561,6 +626,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			resp.Requests[name] = c.Value
 		}
 	}
+	resp.Jobs = JobsStats{
+		Submitted: snap.CounterValue(jobs.MetricJobsSubmitted),
+		Completed: snap.CounterValue(jobs.MetricJobsCompleted),
+		Failed:    snap.CounterValue(jobs.MetricJobsFailed),
+		Canceled:  snap.CounterValue(jobs.MetricJobsCanceled),
+		Expired:   snap.CounterValue(jobs.MetricJobsExpired),
+		Rejected:  snap.CounterValue(jobs.MetricJobsRejected),
+	}
+	resp.Jobs.Queued, resp.Jobs.Running = s.jobs.Counts()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -65,6 +65,7 @@ func readCorpusSet(t *testing.T, name string) *lzwtc.TestSet {
 func startService(t *testing.T, cfg server.Config) (*client.Client, *server.Server) {
 	t.Helper()
 	srv := server.New(cfg)
+	t.Cleanup(srv.Close)
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(hs.Close)
 	return client.New(hs.URL, client.Options{Retries: 0}), srv
@@ -302,6 +303,7 @@ func TestServiceStatsAndMetrics(t *testing.T) {
 // and gives up cleanly when they persist.
 func TestServiceRetryBackoff(t *testing.T) {
 	srv := server.New(server.Config{})
+	t.Cleanup(srv.Close)
 	var calls atomic.Int64
 	flaky := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if calls.Add(1) <= 2 {

@@ -47,6 +47,7 @@ func (c *traceCapture) snapshot() []telemetry.SpanRecord {
 func startTracedService(t *testing.T, cfg server.Config) (*client.Client, *traceCapture, *server.Server, string) {
 	t.Helper()
 	srv := server.New(cfg)
+	t.Cleanup(srv.Close)
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(hs.Close)
 	cap := &traceCapture{}

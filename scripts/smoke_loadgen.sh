@@ -1,0 +1,68 @@
+#!/bin/sh
+# Load-generator smoke: start lzwtcd with a deliberately undersized
+# per-tenant submission quota, slam it with 200 concurrent async
+# clients through cmd/lzwtcload, and require that (a) every operation
+# eventually succeeds byte-identically — the 429s are absorbed by the
+# client's Retry-After backoff, never surfaced as failures — and
+# (b) the quota actually bit: at least one throttle was observed.
+# Finishes with a SIGTERM graceful drain, which must exit 0.
+set -eu
+
+CLIENTS=${CLIENTS:-200}
+RATE=${RATE:-50}
+BURST=${BURST:-50}
+
+WORK=$(mktemp -d)
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/lzwtcd" ./cmd/lzwtcd
+go build -o "$WORK/lzwtcload" ./cmd/lzwtcload
+
+# Quota sized so a 200-client burst must overflow it (burst < clients)
+# but refill lets every retry wave through well inside the client's
+# retry budget.
+"$WORK/lzwtcd" -addr 127.0.0.1:0 \
+    -jobs-rate "$RATE" -jobs-burst "$BURST" -jobs-concurrent 8 -jobs-queue 256 \
+    >"$WORK/lzwtcd.log" 2>&1 &
+SERVER_PID=$!
+
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(awk '/^lzwtcd: listening on/ {print $NF; exit}' "$WORK/lzwtcd.log" 2>/dev/null || true)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "lzwtcd never started"; cat "$WORK/lzwtcd.log"; exit 1; }
+SERVER="http://$ADDR"
+echo "loadgen smoke: server at $SERVER ($CLIENTS clients vs rate=$RATE burst=$BURST)"
+
+"$WORK/lzwtcload" -server "$SERVER" -clients "$CLIENTS" -requests 1 \
+    -mode async -patterns 32 -width 32 -retries 10 -timeout 2m \
+    | tee "$WORK/loadgen.out"
+
+# Zero failed, zero corrupted — the run itself exits non-zero otherwise,
+# but assert on the report too so a silent tally bug cannot pass.
+grep -q "operations: $CLIENTS ok, 0 failed, 0 corrupted" "$WORK/loadgen.out" || {
+    echo "loadgen report does not show $CLIENTS clean operations"
+    cat "$WORK/lzwtcd.log"; exit 1; }
+
+# The undersized quota must have produced at least one 429.
+THROTTLED=$(awk '/^throttled:/ {print $2; exit}' "$WORK/loadgen.out")
+[ -n "$THROTTLED" ] && [ "$THROTTLED" -ge 1 ] || {
+    echo "expected >=1 throttled operation, got '$THROTTLED' — quota never engaged"
+    exit 1; }
+
+# Server-side SLO series must be present after the burst.
+curl -fsS -o "$WORK/metrics.txt" "$SERVER/metrics"
+grep -q "lzwtc_jobs_duration_seconds" "$WORK/metrics.txt" || {
+    echo "metrics missing job duration histogram"; exit 1; }
+
+kill -TERM "$SERVER_PID"
+WAIT_STATUS=0
+wait "$SERVER_PID" || WAIT_STATUS=$?
+if [ "$WAIT_STATUS" -ne 0 ]; then
+    echo "lzwtcd did not drain cleanly (exit $WAIT_STATUS)"
+    cat "$WORK/lzwtcd.log"
+    exit 1
+fi
+echo "loadgen smoke: $CLIENTS ops clean, $THROTTLED throttled, clean drain"
