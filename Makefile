@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 
-.PHONY: build vet vet-concurrency test race lzwtcvet lzwtcvet-baseline dict-oracle fuzz telemetry-overhead trace-overhead batch-bench bench-json bench-gate cover lzwtcd-smoke loadgen-smoke verify
+.PHONY: build vet vet-concurrency test race lzwtcvet lzwtcvet-baseline dict-oracle fuzz telemetry-overhead trace-overhead batch-bench kernel-bench bench-json bench-gate cover lzwtcd-smoke loadgen-smoke verify
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,13 @@ trace-overhead:
 batch-bench:
 	$(GO) test -run='^$$' -bench='BenchmarkBatchCompress' -benchtime=$(BENCHTIME) ./internal/parallel
 
+# Match-kernel smoke: the bit-sliced findChildMasked microbenchmarks
+# (Gosper-favored, chain-favored, all-X, TieWidest shapes) must run
+# clean. Regression gating for the kernel rides the grid gate below —
+# the chain-heavy grid cases are built from the same shapes.
+kernel-bench:
+	$(GO) test -run='^$$' -bench='BenchmarkFindChildMasked' -benchtime=$(BENCHTIME) ./internal/core
+
 # Coverage gate: total statement coverage must stay at or above the
 # floor in scripts/check_coverage.sh (raise it as coverage grows).
 cover:
@@ -94,11 +101,11 @@ loadgen-smoke:
 # decompress ns/char, MB/s, allocs/op across C_C x X-density) and write
 # the committed trajectory point for this PR.
 bench-json:
-	$(GO) run ./cmd/benchgen -bench -benchtime=1s -out BENCH_4.json
+	$(GO) run ./cmd/benchgen -bench -benchtime=1s -out BENCH_9.json
 
 # Regression gate: re-run the grid and fail if any case's compress
 # ns/char regresses more than 10% against the committed baseline.
 bench-gate:
-	$(GO) run ./cmd/benchgen -bench -benchtime=1s -check BENCH_4.json -tolerance=0.10
+	$(GO) run ./cmd/benchgen -bench -benchtime=1s -check BENCH_9.json -tolerance=0.10
 
-verify: build vet vet-concurrency test race lzwtcvet lzwtcvet-baseline dict-oracle fuzz telemetry-overhead trace-overhead batch-bench cover lzwtcd-smoke loadgen-smoke
+verify: build vet vet-concurrency test race lzwtcvet lzwtcvet-baseline dict-oracle fuzz telemetry-overhead trace-overhead batch-bench kernel-bench cover lzwtcd-smoke loadgen-smoke

@@ -20,7 +20,7 @@ import (
 
 // PerfSchema versions the report format; bump it when the JSON shape or
 // the case grid changes incompatibly.
-const PerfSchema = "lzwtc-bench/1"
+const PerfSchema = "lzwtc-bench/2"
 
 // DefaultPerfBits is the per-case stream length used by the committed
 // trajectory: long enough to fill a 1024-code dictionary several times
@@ -34,6 +34,12 @@ type PerfCase struct {
 	CharBits int     `json:"char_bits"`
 	DictSize int     `json:"dict_size"`
 	XDensity float64 `json:"x_density"`
+	// Gen selects the stream generator: "" (= "blocks") is the repeated
+	// 96-bit block library; "chain" is the deep-sibling shape (a fixed
+	// anchor character followed by a uniform random one), which drives a
+	// single parent's child chain toward 2^C_C lanes and exercises the
+	// multi-block match kernel the block library rarely reaches.
+	Gen string `json:"gen,omitempty"`
 }
 
 // Config returns the compressor configuration the case is measured
@@ -66,15 +72,29 @@ func PerfCases() []PerfCase {
 			})
 		}
 	}
+	// Stress corners beyond the C_C × density square: near-total X
+	// (nearly every query is all-X or single-bit-cared), a wide
+	// word-straddling character over a dictionary past the direct block
+	// layout's bound (the dense-arena kernel path), and two chain-heavy
+	// shapes whose sibling chains cross 64-lane block boundaries.
+	cases = append(cases,
+		PerfCase{Name: "cc8_x99", CharBits: 8, DictSize: 1024, XDensity: 0.99},
+		PerfCase{Name: "cc12_x90", CharBits: 12, DictSize: 8192, XDensity: 0.9},
+		PerfCase{Name: "cc8_chain50", CharBits: 8, DictSize: 1024, XDensity: 0.5, Gen: "chain"},
+		PerfCase{Name: "cc8_chain90", CharBits: 8, DictSize: 1024, XDensity: 0.9, Gen: "chain"},
+	)
 	return cases
 }
 
-// Stream synthesizes the case's input: a block-structured concrete
-// stream (a small library of repeated 96-bit blocks, the repetition LZW
-// feeds on) punctured to the case's X density. Fully deterministic per
+// Stream synthesizes the case's input per its generator (see
+// PerfCase.Gen): block-structured repetition punctured to the case's X
+// density, or the chain-heavy anchor shape. Fully deterministic per
 // case.
 func (c PerfCase) Stream(totalBits int) *bitvec.Vector {
 	rng := rand.New(rand.NewSource(int64(c.CharBits)*1000 + int64(c.XDensity*100)))
+	if c.Gen == "chain" {
+		return c.chainStream(rng, totalBits)
+	}
 	const nBlocks, blockBits = 24, 96
 	blocks := make([][]bitvec.Bit, nBlocks)
 	for i := range blocks {
@@ -96,6 +116,42 @@ func (c PerfCase) Stream(totalBits int) *bitvec.Vector {
 			}
 			if rng.Float64() >= c.XDensity {
 				v.Set(pos, bit)
+			}
+			pos++
+		}
+	}
+	return v
+}
+
+// chainStream emits [anchor, random-character] pairs punctured to the
+// case's X density. Almost every two-character string starts at the
+// fixed anchor, so the anchor literal's child chain fills toward 2^C_C
+// lanes — sibling chains spanning multiple 64-lane plane blocks, the
+// shape the square grid's block streams rarely produce.
+func (c PerfCase) chainStream(rng *rand.Rand, totalBits int) *bitvec.Vector {
+	cc := c.CharBits
+	anchor := make([]bitvec.Bit, cc)
+	for j := range anchor {
+		if j%2 == 0 {
+			anchor[j] = bitvec.One
+		}
+	}
+	v := bitvec.New(totalBits)
+	pos := 0
+	for pos < totalBits {
+		for j := 0; j < cc && pos < totalBits; j++ {
+			if rng.Float64() >= c.XDensity {
+				v.Set(pos, anchor[j])
+			}
+			pos++
+		}
+		for j := 0; j < cc && pos < totalBits; j++ {
+			b := bitvec.Zero
+			if rng.Intn(2) == 1 {
+				b = bitvec.One
+			}
+			if rng.Float64() >= c.XDensity {
+				v.Set(pos, b)
 			}
 			pos++
 		}

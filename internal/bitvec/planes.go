@@ -1,0 +1,75 @@
+package bitvec
+
+import (
+	"math/bits"
+
+	"lzwtc/internal/invariant"
+)
+
+// Bit-sliced plane primitives.
+//
+// A plane block stores up to 64 three-valued characters ("lanes")
+// transposed: plane word b holds bit b of every lane's character, so a
+// compatibility question over all 64 lanes is answered with a couple of
+// word operations per cared query bit instead of one probe per lane.
+// Two plane sets describe a block: the value planes (bit b of lane i's
+// character) and the is-X planes (lane i's bit b is a don't-care). The
+// core dictionary batches sibling chains into such blocks; these
+// primitives are the word kernel underneath.
+
+// LaneMask returns a mask of the n low lanes, n in [0, 64]. It bounds a
+// partially filled plane block: lanes at or above n are unused (their
+// plane bits may be stale) and must not survive a match.
+func LaneMask(n int) uint64 {
+	if uint(n) > 64 {
+		invariant.Violatef("bitvec: lane count %d out of range [0,64]", n)
+	}
+	if n == 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(n) - 1
+}
+
+// AppendLane ORs one three-valued character into lane `lane` of a plane
+// block: bit b of the character is char>>b&1 where care>>b&1 is 1, and a
+// don't-care where it is 0. The lane's plane bits must currently be
+// clear (a freshly cleared block, or a lane beyond the previous fill) —
+// appending is OR-only, touching exactly the set bits of the character
+// and its don't-care mask, which is what makes incremental transposition
+// cheap. valPlane and xPlane must have equal length (the character width
+// in bits); character bits at or beyond that width are not stored.
+func AppendLane(valPlane, xPlane []uint64, lane uint, char, care uint64) {
+	if lane > 63 {
+		invariant.Violatef("bitvec: lane %d out of range [0,63]", lane)
+	}
+	bit := uint64(1) << lane
+	width := LaneMask(len(valPlane)) // reuse: n low *bits*, same arithmetic
+	for m := char & width; m != 0; m &= m - 1 {
+		valPlane[bits.TrailingZeros64(m)] |= bit
+	}
+	for m := ^care & width; m != 0; m &= m - 1 {
+		xPlane[bits.TrailingZeros64(m)] |= bit
+	}
+}
+
+// MatchLanes returns the lanes of a plane block whose stored character
+// is compatible with the three-valued query (val, care): for every
+// query-cared bit b, the lane either stores the same bit value or
+// stores a don't-care at b. Query bits outside care impose nothing
+// (they are bound by the caller's dynamic assignment), so each cared
+// bit costs three word operations:
+//
+//	mismatch_b = (valPlane[b] XOR broadcast(val_b)) ANDN xPlane[b]
+//
+// where broadcast(1) is all-ones — lanes differing from val at a cared,
+// stored-care position drop out. `lanes` seeds the search (normally
+// LaneMask of the block fill); every set bit of care must be below
+// len(valPlane). The loop exits early once no lane survives.
+func MatchLanes(val, care uint64, valPlane, xPlane []uint64, lanes uint64) uint64 {
+	for m := care; m != 0 && lanes != 0; m &= m - 1 {
+		b := bits.TrailingZeros64(m)
+		bcast := -(val >> uint(b) & 1)
+		lanes &^= (valPlane[b] ^ bcast) &^ xPlane[b]
+	}
+	return lanes
+}

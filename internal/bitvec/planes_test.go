@@ -1,0 +1,125 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// laneCompatRef is the per-lane reference MatchLanes is checked
+// against: lane i survives when every cared query bit is either an X in
+// the lane or equal to the lane's stored bit.
+func laneCompatRef(val, care uint64, chars, cares []uint64, width int, lanes uint64) uint64 {
+	out := uint64(0)
+	mask := uint64(1)<<uint(width) - 1
+	for i := range chars {
+		if lanes>>uint(i)&1 == 0 {
+			continue
+		}
+		ok := true
+		for b := 0; b < width; b++ {
+			bit := uint64(1) << uint(b)
+			if care&bit == 0 || cares[i]&bit == 0 {
+				continue
+			}
+			if (chars[i]^val)&bit&mask != 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+func TestLaneMaskBounds(t *testing.T) {
+	if LaneMask(0) != 0 {
+		t.Errorf("LaneMask(0) = %#x", LaneMask(0))
+	}
+	if LaneMask(1) != 1 {
+		t.Errorf("LaneMask(1) = %#x", LaneMask(1))
+	}
+	if LaneMask(63) != ^uint64(0)>>1 {
+		t.Errorf("LaneMask(63) = %#x", LaneMask(63))
+	}
+	if LaneMask(64) != ^uint64(0) {
+		t.Errorf("LaneMask(64) = %#x", LaneMask(64))
+	}
+	for n := 2; n < 63; n += 13 {
+		want := uint64(1)<<uint(n) - 1
+		if LaneMask(n) != want {
+			t.Errorf("LaneMask(%d) = %#x, want %#x", n, LaneMask(n), want)
+		}
+	}
+}
+
+// TestAppendMatchLanesAgainstReference fills blocks lane by lane with
+// random three-valued characters — X-heavy and concrete mixes — and
+// checks MatchLanes against the per-lane reference over random queries,
+// including care = 0 (every lane survives) and full-care exact queries.
+func TestAppendMatchLanesAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, width := range []int{1, 2, 7, 8, 13, 16} {
+		mask := uint64(1)<<uint(width) - 1
+		for _, fill := range []int{1, 3, 63, 64} {
+			valPlane := make([]uint64, width)
+			xPlane := make([]uint64, width)
+			chars := make([]uint64, fill)
+			cares := make([]uint64, fill)
+			for i := 0; i < fill; i++ {
+				care := rng.Uint64() & mask
+				if i%3 == 0 {
+					care = mask // concrete lane
+				}
+				if i%7 == 0 {
+					care = 0 // all-X lane
+				}
+				chars[i] = rng.Uint64() & care
+				cares[i] = care
+				AppendLane(valPlane, xPlane, uint(i), chars[i], care)
+			}
+			lanes := LaneMask(fill)
+			queries := [][2]uint64{{0, 0}, {0, mask}, {mask, mask}, {chars[0], cares[0] & mask}}
+			for q := 0; q < 200; q++ {
+				care := rng.Uint64() & mask
+				queries = append(queries, [2]uint64{rng.Uint64() & care, care})
+			}
+			for _, q := range queries {
+				val, care := q[0], q[1]
+				got := MatchLanes(val, care, valPlane, xPlane, lanes)
+				want := laneCompatRef(val, care, chars, cares, width, lanes)
+				if got != want {
+					t.Fatalf("width=%d fill=%d val=%#x care=%#x: MatchLanes=%#x, ref=%#x",
+						width, fill, val, care, got, want)
+				}
+			}
+			// The seed mask bounds the search: excluded lanes never revive.
+			if fill > 1 {
+				partial := LaneMask(fill - 1)
+				if got := MatchLanes(0, 0, valPlane, xPlane, partial); got != partial {
+					t.Fatalf("width=%d fill=%d: all-X over partial seed = %#x, want %#x",
+						width, fill, got, partial)
+				}
+			}
+		}
+	}
+}
+
+// TestAppendLaneWidthClip verifies character bits at or beyond the plane
+// width are not stored (the planes only describe width bits).
+func TestAppendLaneWidthClip(t *testing.T) {
+	valPlane := make([]uint64, 4)
+	xPlane := make([]uint64, 4)
+	AppendLane(valPlane, xPlane, 0, 0xff, 0xff) // bits 4-7 beyond width
+	for b, w := range valPlane {
+		if w != 1 {
+			t.Errorf("valPlane[%d] = %#x, want 1", b, w)
+		}
+	}
+	for b, w := range xPlane {
+		if w != 0 {
+			t.Errorf("xPlane[%d] = %#x, want 0", b, w)
+		}
+	}
+}

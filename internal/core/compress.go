@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"lzwtc/internal/bitio"
 	"lzwtc/internal/bitvec"
@@ -177,6 +178,11 @@ func compressInternal(ctx context.Context, stream *bitvec.Vector, cfg Config, re
 	cc := cfg.CharBits
 	nChars := (stream.Len() + cc - 1) / cc
 	fullMask := uint64(1)<<uint(cc) - 1
+	// One code per character is the worst case (nothing ever matches);
+	// reserving it up front keeps the emit path free of append growth —
+	// at 4 bytes per character the transient overshoot is well under the
+	// stream's own footprint.
+	res.Codes = make([]Code, 0, nChars)
 	_, dsp := rec.StartSpan(ctx, SpanDictBuild)
 	d, err := mk()
 	dsp.End()
@@ -195,50 +201,188 @@ func compressInternal(ctx context.Context, stream *bitvec.Vector, cfg Config, re
 		res.Stats.ResidualFills++
 	}
 	buffer := Code(first)
+	// bufLen mirrors d.len(buffer) without the dictionary load: a match
+	// extends the string by one character, a miss restarts from a
+	// one-character literal.
+	bufLen := 1
 	e.traceStep(buffer, 0, false, nil, nil)
 
-	for i := 1; i < nChars; i++ {
-		val, care := stream.Chunk(i*cc, cc)
-		if child, ok := d.findChild(buffer, val, care, fullMask); ok {
+	// The per-character chunk extraction is written out against the raw
+	// plane words (same contract as stream.Chunk: bit pos+j at result
+	// bit j, X past the end). Every iteration of the match loop pays it,
+	// and the call + re-validation overhead of Chunk measurably shows
+	// next to the bit-sliced child kernel. pos < Len() holds for every
+	// character start, so only the high word needs a bounds check; a
+	// shift by 64 when off == 0 drops out as zero in Go.
+	valw, carew := stream.Planes()
+	tieOldest := cfg.Tie == TieOldest
+	// Loop-local mirrors of the result fields the hot path touches every
+	// character: appending through res.Codes and bumping res.Stats fields
+	// through the pointer defeats register allocation; these live in
+	// registers and are written back once after the loop.
+	codes := res.Codes
+	var dynFills, resFills, dictEntries, maxEntry, maxMatch, litCodes, strCodes int
+	resFills = res.Stats.ResidualFills // first char may have residual-filled
+	maxChars, dictSize := d.maxChars, cfg.DictSize
+	direct := d.directBlocks
+	for i, pos := 1, cc; i < nChars; i, pos = i+1, pos+cc {
+		w, off := pos>>6, uint(pos&63)
+		val := valw[w] >> off & fullMask
+		care := carew[w] >> off & fullMask
+		if off+uint(cc) > 64 {
+			// Straddling word boundary — never taken when cc divides 64.
+			var hv, hc uint64
+			if w+1 < len(valw) {
+				hv, hc = valw[w+1], carew[w+1]
+			}
+			val |= hv << (64 - off) & fullMask
+			care |= hc << (64 - off) & fullMask
+		}
+		// Dispatch straight to the matcher arm: findChild is only the
+		// exact-vs-masked split plus the oracle cross-check, and its call
+		// frame shows up at this loop's query rate. Oracle builds keep
+		// going through findChild so every production lookup stays
+		// cross-checked.
+		var child Code
+		var ok bool
+		if dictOracle {
+			child, ok = d.findChild(buffer, val, care, fullMask)
+		} else if care == fullMask {
+			child, ok = d.lookupChild(buffer, val)
+		} else if tieOldest && !d.hasXLanes {
+			// TieOldest fast arms, sharing one chain-header load. All-X
+			// characters resolve positionally from the header alone and
+			// don't flip the dictionary into eager plane maintenance;
+			// single-block chains (the overwhelming shape) run the
+			// bit-sliced kernel right here, skipping the call and the
+			// is-X plane (production lanes are concrete). Longer chains
+			// and pre-sync dictionaries take the full path.
+			ch := d.chain[buffer]
+			if ch.count == 0 || val&^care != 0 {
+				// no children, or val demands bits outside its care mask
+			} else if care == 0 {
+				child, ok = ch.first, true
+			} else if d.anyMasked && int(ch.count) <= 64 {
+				// Under the direct block layout the plane and lane-code
+				// addresses come from the code itself, so these loads issue
+				// in parallel with the chain-header load above instead of
+				// chained behind it; loading lane 0's code up front warms
+				// its cache line while the kernel runs (TieOldest survivors
+				// are biased to the low lanes).
+				b := int(ch.head)
+				if direct {
+					b = int(buffer)
+				}
+				base := b * cc
+				lanes := ^uint64(0) >> (64 - uint(ch.count))
+				for m := care; m != 0 && lanes != 0; m &= m - 1 {
+					t := bits.TrailingZeros64(m)
+					lanes &^= d.blkVal[base+t] ^ (-(val >> uint(t) & 1))
+				}
+				if lanes != 0 {
+					child, ok = d.blkCodes[b*64+bits.TrailingZeros64(lanes)], true
+				}
+			} else {
+				child, ok = d.findChildMasked(buffer, val, care, fullMask)
+			}
+		} else {
+			child, ok = d.findChildMasked(buffer, val, care, fullMask)
+		}
+		if ok {
 			// Dynamic don't-care assignment: the X bits of this character
 			// are bound to the child's character, extending the match.
 			if care != fullMask {
-				res.Stats.DynamicFills++
+				dynFills++
 			}
-			e.lastBit = d.lastChar[child] >> uint(cc-1) & 1
 			buffer = child
-			e.traceStep(buffer, i*cc, false, nil, nil)
+			bufLen++
+			if e.tracing {
+				e.traceStep(buffer, pos, false, nil, nil)
+			}
 			continue
 		}
 		// No continuation: emit Buffer, concretize the character residually,
 		// record the new dictionary entry, restart from the literal.
-		e.emit(buffer)
+		codes = append(codes, buffer)
+		if bufLen > maxMatch {
+			maxMatch = bufLen
+		}
+		if buffer < d.firstCode {
+			litCodes++
+		} else {
+			strCodes++
+		}
+		if m := e.m; m != nil {
+			m.observeEmit(bufLen, int(d.next-d.firstCode))
+		}
+		// FillRepeat's chain bit is the previous character's top bit, which
+		// is always Buffer's last character's top bit (after a miss, Buffer
+		// is the literal code of the concretized character, whose lastChar
+		// is itself). Refreshing it here, once per emitted code, keeps the
+		// matched fast path free of a cold lastChar load per character.
+		e.lastBit = d.lastChar[buffer] >> uint(cc-1) & 1
 		concrete := e.fill(val, care)
 		if care != fullMask {
-			res.Stats.ResidualFills++
+			resFills++
+		}
+		// Dispatch the add directly: an in-budget add into a non-full
+		// dictionary (the overwhelming case between resets) goes straight
+		// to commitAdd; the policy edges (length cap, FullFreeze, reset,
+		// parent invalidation) stay behind addWithLen.
+		var newCode Code
+		added := false
+		if bufLen < maxChars && int(d.next) < dictSize {
+			newCode = d.commitAdd(buffer, concrete)
+			added = true
+		} else {
+			newCode, added = d.addWithLen(buffer, concrete, bufLen)
 		}
 		var newEntry *TraceEntry
-		if c, ok := d.add(buffer, concrete); ok {
-			res.Stats.DictEntries++
-			if n := d.len(c); n > res.Stats.MaxEntryChars {
-				res.Stats.MaxEntryChars = n
+		if added {
+			dictEntries++
+			if n := bufLen + 1; n > maxEntry {
+				maxEntry = n
 			}
 			if e.tracing {
-				newEntry = &TraceEntry{Code: c, Str: stringBits(d, c, cc)}
+				newEntry = &TraceEntry{Code: newCode, Str: stringBits(d, newCode, cc)}
 			}
 		}
 		buffer = Code(concrete)
+		bufLen = 1
 		if e.tracing {
 			// Taking the emitted code's address here would make it escape
 			// into traceStep on every iteration; only traced runs pay it.
-			emitted := res.Codes[len(res.Codes)-1]
-			e.traceStep(buffer, i*cc, false, &emitted, newEntry)
+			emitted := codes[len(codes)-1]
+			e.traceStep(buffer, pos, false, &emitted, newEntry)
 		}
 	}
 	// Figure 3k: the final Buffer completes the compressed output.
-	e.emit(buffer)
+	codes = append(codes, buffer)
+	if bufLen > maxMatch {
+		maxMatch = bufLen
+	}
+	if buffer < d.firstCode {
+		litCodes++
+	} else {
+		strCodes++
+	}
+	if m := e.m; m != nil {
+		m.observeEmit(bufLen, int(d.next-d.firstCode))
+	}
+	res.Codes = codes
+	res.Stats.DynamicFills += dynFills
+	res.Stats.ResidualFills = resFills
+	res.Stats.DictEntries += dictEntries
+	if maxEntry > res.Stats.MaxEntryChars {
+		res.Stats.MaxEntryChars = maxEntry
+	}
+	if maxMatch > res.Stats.MaxMatchChars {
+		res.Stats.MaxMatchChars = maxMatch
+	}
+	res.Stats.LiteralCodes += litCodes
+	res.Stats.StringCodes += strCodes
 	if e.tracing {
-		last := res.Codes[len(res.Codes)-1]
+		last := codes[len(codes)-1]
 		e.traceStep(buffer, 0, true, &last, nil)
 	}
 
@@ -262,22 +406,6 @@ type encoder struct {
 	fullMask uint64
 	lastBit  uint64
 	step     int
-}
-
-func (e *encoder) emit(c Code) {
-	e.res.Codes = append(e.res.Codes, c)
-	n := e.d.len(c)
-	if n > e.res.Stats.MaxMatchChars {
-		e.res.Stats.MaxMatchChars = n
-	}
-	if c < e.d.firstCode {
-		e.res.Stats.LiteralCodes++
-	} else {
-		e.res.Stats.StringCodes++
-	}
-	if m := e.m; m != nil {
-		m.observeEmit(n, int(e.d.next-e.d.firstCode))
-	}
 }
 
 // fill concretizes a three-valued character per the residual fill policy,

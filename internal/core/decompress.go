@@ -65,6 +65,11 @@ func decompressWithDict(codes []Code, cfg Config, outBits int, trace func(Decomp
 		return nil, err
 	}
 	defer releaseDict(d)
+	// The decompressor only replays adds — it never asks for a child —
+	// so the dictionary can skip child-index maintenance entirely. Set
+	// after mk(): a preload factory still installs its index (preload
+	// verifies prefix-closure through lookupChild).
+	d.noChildIndex = true
 	pos := 0
 	prev := noCode
 	var scratch []uint64

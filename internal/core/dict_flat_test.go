@@ -146,6 +146,25 @@ func FuzzFindChildEquivalence(f *testing.F) {
 	f.Add([]byte{3, 0, 0, 0, 2, 1}, []byte{0, 1, 7, 0, 2, 6, 1, 0, 0xf0, 0xff})
 	f.Add([]byte{1, 0, 0, 0, 0, 1}, []byte{})     // DictSize == 2^CharBits, FullReset
 	f.Add([]byte{0, 0, 0, 0, 0, 0}, []byte{1, 1}) // DictSize == 2^CharBits, FullFreeze
+	// Deep-chain seeds for the bit-sliced kernel: 70 children under one
+	// literal parent cross the 64-lane block boundary, then all-X
+	// (care = 0), single-bit and exact queries rank the multi-block
+	// candidate set under every tie policy. The 64-add variant leaves the
+	// tail block exactly full (TieNewest's lane arithmetic wraps).
+	deep := func(adds int) []byte {
+		ops := make([]byte, 0, 4*adds+16)
+		for i := 0; i < adds; i++ {
+			ops = append(ops, 0, 1, byte(i), 0) // add child i under literal 1
+		}
+		ops = append(ops,
+			1, 1, 0, 0, // all-X query on the deep chain
+			1, 1, 0x80, 0x80, // single cared bit
+			1, 1, byte(adds-1), 0xff, // exact newest child
+			1, 1, 0x05, 0x0f) // low-nibble cube
+		return ops
+	}
+	f.Add([]byte{7, 200, 0, 0, 0, 0}, deep(70)) // cc8, chain past one block
+	f.Add([]byte{7, 200, 0, 0, 1, 0}, deep(64)) // cc8, tail block exactly full
 
 	f.Fuzz(func(t *testing.T, seed, ops []byte) {
 		if len(seed) < 6 {
