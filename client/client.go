@@ -274,6 +274,21 @@ type CompressOptions struct {
 	// ShardPatterns > 0 asks the service for a sharded compression of
 	// at most this many patterns per frame.
 	ShardPatterns int
+	// DictID names a stored shared dictionary (64-char hex store key)
+	// to warm-start from: the service compresses with that preload and
+	// the returned container carries a 'D' frame referencing it. The
+	// dictionary must already be stored (TrainDict or PushDict).
+	DictID string
+}
+
+// compressQuery renders the compression query parameters, including
+// the optional dictionary reference.
+func compressQuery(cfg lzwtc.Config, opts CompressOptions) url.Values {
+	v := server.EncodeCompressQuery(cfg, opts.ShardPatterns)
+	if opts.DictID != "" {
+		v.Set(server.ParamDictID, opts.DictID)
+	}
+	return v
 }
 
 // Compress sends a test set for remote compression and returns the
@@ -287,7 +302,7 @@ func (c *Client) Compress(ctx context.Context, ts *lzwtc.TestSet, cfg lzwtc.Conf
 		return nil, err
 	}
 	resp, err := c.do(ctx, http.MethodPost, server.PathCompress,
-		server.EncodeCompressQuery(cfg, opts.ShardPatterns), "text/plain; charset=utf-8", body.Bytes())
+		compressQuery(cfg, opts), "text/plain; charset=utf-8", body.Bytes())
 	if err != nil {
 		return nil, err
 	}

@@ -44,7 +44,7 @@ func (c *Client) SubmitCompressJob(ctx context.Context, ts *lzwtc.TestSet, cfg l
 		return nil, err
 	}
 	resp, err := c.do(ctx, http.MethodPost, server.PathJobsCompress,
-		server.EncodeCompressQuery(cfg, opts.ShardPatterns), "text/plain; charset=utf-8", body.Bytes())
+		compressQuery(cfg, opts), "text/plain; charset=utf-8", body.Bytes())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lzwtc"
+	"lzwtc/client"
+)
+
+// dictCmd manages the local shared-dictionary store and syncs it with
+// a lzwtcd instance:
+//
+//	lzwtc dict train -in cubes.txt [-store DIR] [-entries N] [config flags]
+//	lzwtc dict ls    [-store DIR]
+//	lzwtc dict rm    -id KEY [-store DIR]
+//	lzwtc dict push  -id KEY -server URL [-store DIR]
+//	lzwtc dict pull  -id KEY -server URL [-store DIR]
+//
+// train prints the new dictionary's store key on stdout (scriptable as
+// K=$(lzwtc dict train ...)); push uploads a local blob to the
+// service, pull downloads one into the local store. The local store
+// defaults to ./.lzwtcdicts and is the same content-addressed layout
+// lzwtcd's -dict-dir uses, so a directory can be shared directly.
+func dictCmd(ctx context.Context, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: lzwtc dict {train|ls|rm|push|pull} [flags]")
+	}
+	verb, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet("dict "+verb, flag.ExitOnError)
+	storeDir := fs.String("store", ".lzwtcdicts", "local dictionary store directory")
+	var in, id, serverURL *string
+	var entries *int
+	var cfg *lzwtc.Config
+	switch verb {
+	case "train":
+		in = fs.String("in", "-", "training cube file (- for stdin)")
+		entries = fs.Int("entries", 0, "cap on preload entries (0 = code-width capacity)")
+		cfg = configFlags(fs)
+	case "ls":
+	case "rm":
+		id = fs.String("id", "", "dictionary store key (64-char hex)")
+	case "push", "pull":
+		id = fs.String("id", "", "dictionary store key (64-char hex)")
+		serverURL = fs.String("server", "http://127.0.0.1:8077", "lzwtcd base URL")
+	default:
+		return fmt.Errorf("dict: unknown verb %q (want train, ls, rm, push or pull)", verb)
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if id != nil && *id == "" {
+		return fmt.Errorf("dict %s: -id is required", verb)
+	}
+
+	store, err := lzwtc.OpenDictStore(lzwtc.DictStoreConfig{Dir: *storeDir})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	switch verb {
+	case "train":
+		return dictTrain(ctx, store, *in, *cfg, *entries)
+	case "ls":
+		return dictList(store)
+	case "rm":
+		return dictRemove(store, *id)
+	case "push":
+		return dictPush(ctx, store, *id, *serverURL)
+	case "pull":
+		return dictPull(ctx, store, *id, *serverURL)
+	}
+	return nil
+}
+
+// dictTrain trains a dictionary from cube text into the local store
+// and prints its content address. Re-training the same corpus under
+// the same config is a store hit, not a second training.
+func dictTrain(ctx context.Context, store *lzwtc.DictStore, in string, cfg lzwtc.Config, entries int) error {
+	r, err := openIn(in)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	ts, err := lzwtc.ReadTestSet(r)
+	if err != nil {
+		return err
+	}
+	key := lzwtc.DictKeyFor(ts, cfg)
+	ent, src, err := store.GetOrTrain(ctx, key, cfg, func(context.Context) (*lzwtc.Preload, error) {
+		return lzwtc.Train(ts, cfg, entries)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dict %s: %d entries, %d blob bytes, digest %s (%s)\n",
+		verbPast(src.String()), ent.Pre.Entries(), ent.BlobBytes, ent.Digest, src)
+	fmt.Println(ent.Key)
+	return nil
+}
+
+// verbPast maps a resolution source onto the verb for the human line.
+func verbPast(src string) string {
+	if src == "trained" {
+		return "trained"
+	}
+	return "found"
+}
+
+func dictList(store *lzwtc.DictStore) error {
+	infos := store.List()
+	if len(infos) == 0 {
+		fmt.Fprintln(os.Stderr, "dict store is empty")
+		return nil
+	}
+	for _, info := range infos {
+		where := "disk"
+		// Entries is -1 for a disk-only entry (the blob is not decoded
+		// just to list it).
+		entries := "      ?"
+		if info.InMem {
+			where = "mem"
+			entries = fmt.Sprintf("%7d", info.Entries)
+		}
+		fmt.Printf("%s  %s entries  %8d bytes  %s\n", info.Key, entries, info.BlobBytes, where)
+	}
+	return nil
+}
+
+func dictRemove(store *lzwtc.DictStore, id string) error {
+	key, err := lzwtc.ParseDictKey(id)
+	if err != nil {
+		return err
+	}
+	removed, err := store.Delete(key)
+	if err != nil {
+		return err
+	}
+	if !removed {
+		return fmt.Errorf("dict rm: no stored dictionary %s", key)
+	}
+	fmt.Fprintf(os.Stderr, "dict removed %s\n", key)
+	return nil
+}
+
+// dictPush uploads one local blob to the service's store.
+func dictPush(ctx context.Context, store *lzwtc.DictStore, id, serverURL string) error {
+	key, err := lzwtc.ParseDictKey(id)
+	if err != nil {
+		return err
+	}
+	blob, ent, err := store.Blob(ctx, key)
+	if err != nil {
+		return err
+	}
+	c := client.New(serverURL, client.Options{Retries: 2})
+	ctx, cancel := context.WithTimeout(ctx, time.Minute)
+	defer cancel()
+	info, err := c.PushDict(ctx, key.String(), blob)
+	if err != nil {
+		return err
+	}
+	if info.Digest != ent.Digest.String() {
+		return fmt.Errorf("dict push: server re-encoded %s to digest %s, local digest %s", key, info.Digest, ent.Digest)
+	}
+	fmt.Fprintf(os.Stderr, "dict pushed %s (%d bytes) to %s\n", key, len(blob), serverURL)
+	return nil
+}
+
+// dictPull downloads one blob from the service into the local store.
+func dictPull(ctx context.Context, store *lzwtc.DictStore, id, serverURL string) error {
+	key, err := lzwtc.ParseDictKey(id)
+	if err != nil {
+		return err
+	}
+	c := client.New(serverURL, client.Options{Retries: 2})
+	ctx, cancel := context.WithTimeout(ctx, time.Minute)
+	defer cancel()
+	blob, err := c.FetchDict(ctx, key.String())
+	if err != nil {
+		return err
+	}
+	ent, err := store.PutBlob(key, blob)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dict pulled %s (%d entries, %d bytes) from %s\n",
+		key, ent.Pre.Entries(), ent.BlobBytes, serverURL)
+	return nil
+}

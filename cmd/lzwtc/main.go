@@ -11,6 +11,7 @@
 //	lzwtc compare   -in cubes.txt              # all coders side by side
 //	lzwtc verify    -cubes cubes.txt -filled filled.txt
 //	lzwtc remote    {compress|decompress|stats|health} -server http://host:8077
+//	lzwtc dict      {train|ls|rm|push|pull}    # shared-dictionary store
 //	lzwtc trace     -in spans.jsonl            # render recorded trace spans
 //
 // Every pipeline subcommand also accepts the observability flags
@@ -63,6 +64,8 @@ func main() {
 		err = verify(os.Args[2:])
 	case "remote":
 		err = remote(ctx, os.Args[2:])
+	case "dict":
+		err = dictCmd(ctx, os.Args[2:])
 	case "trace":
 		err = traceCmd(os.Args[2:])
 	default:
@@ -79,7 +82,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lzwtc {compress|decompress|info|stats|batch|compare|verify|remote|trace} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lzwtc {compress|decompress|info|stats|batch|compare|verify|remote|dict|trace} [flags]")
 	os.Exit(2)
 }
 
@@ -110,6 +113,20 @@ func decodeAnyContainer(data []byte) (*lzwtc.Result, error) {
 	return lzwtc.DecodeResult(data)
 }
 
+// lazyDictResolver opens the local dictionary store only when a
+// container actually names a dictionary, so plain wire containers
+// never touch (or create) the store directory.
+type lazyDictResolver struct{ dir string }
+
+func (l lazyDictResolver) ResolveDict(ctx context.Context, ref lzwtc.DictRef) (*lzwtc.Preload, error) {
+	store, err := lzwtc.OpenDictStore(lzwtc.DictStoreConfig{Dir: l.dir})
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+	return store.ResolveDict(ctx, ref)
+}
+
 // patternCount is a nil-safe pattern count for telemetry fields.
 func patternCount(ts *lzwtc.TestSet) int {
 	if ts == nil {
@@ -131,6 +148,8 @@ func compress(args []string) error {
 	in := fs.String("in", "-", "input cube file (- for stdin)")
 	out := fs.String("out", "-", "output container (- for stdout)")
 	wireOut := fs.Bool("wire", false, "write the versioned wire format (CRC framing) instead of the legacy container")
+	dictID := fs.String("dict-id", "", "stored dictionary key to warm-start from (implies wire output with a 'D' frame)")
+	dictStore := fs.String("dict-store", ".lzwtcdicts", "local dictionary store directory for -dict-id")
 	cfg := configFlags(fs)
 	opts := telemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -150,7 +169,35 @@ func compress(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := lzwtc.CompressObserved(ts, *cfg, rec)
+
+	// A dictionary-warmed compression resolves the preload from the
+	// local store and always writes the wire form: only the 'D' frame
+	// can tell the decompressor which dictionary to reinstall.
+	var pre *lzwtc.Preload
+	var ref lzwtc.DictRef
+	if *dictID != "" {
+		key, err := lzwtc.ParseDictKey(*dictID)
+		if err != nil {
+			return err
+		}
+		store, err := lzwtc.OpenDictStore(lzwtc.DictStoreConfig{Dir: *dictStore})
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		ent, err := store.Resolve(context.Background(), key)
+		if err != nil {
+			return err
+		}
+		pre, ref = ent.Pre, lzwtc.DictEntryRef(ent)
+	}
+
+	var res *lzwtc.Result
+	if pre != nil {
+		res, err = lzwtc.CompressPreloadedObservedCtx(context.Background(), ts, *cfg, pre, rec)
+	} else {
+		res, err = lzwtc.CompressObserved(ts, *cfg, rec)
+	}
 	if err != nil {
 		return err
 	}
@@ -159,9 +206,12 @@ func compress(args []string) error {
 		return err
 	}
 	defer w.Close()
-	if *wireOut {
+	switch {
+	case pre != nil:
+		err = res.WriteWireDictResult(w, ref)
+	case *wireOut:
 		err = res.WriteWire(w)
-	} else {
+	default:
 		_, err = w.Write(res.Encode())
 	}
 	if err != nil {
@@ -179,6 +229,7 @@ func decompress(args []string) error {
 	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
 	in := fs.String("in", "-", "input container (- for stdin)")
 	out := fs.String("out", "-", "output cube file (- for stdout)")
+	dictStore := fs.String("dict-store", ".lzwtcdicts", "local dictionary store directory for containers carrying a 'D' frame")
 	opts := telemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -199,11 +250,14 @@ func decompress(args []string) error {
 	}
 	// Both container generations decompress: the versioned wire format
 	// (CRC-framed, the batch and service default) is sniffed by magic,
-	// anything else is tried as a legacy LZWTC1/TS container.
+	// anything else is tried as a legacy LZWTC1/TS container. A wire
+	// container naming a shared dictionary resolves it through the
+	// local store; plain containers never open the store.
 	var ts *lzwtc.TestSet
 	sp := rec.Span("decompress")
 	if lzwtc.IsWireContainer(data) {
-		ts, err = lzwtc.DecompressWire(bytes.NewReader(data))
+		ts, err = lzwtc.DecompressWireDictObserved(context.Background(), bytes.NewReader(data),
+			lazyDictResolver{dir: *dictStore}, rec)
 	} else {
 		var res *lzwtc.Result
 		res, err = lzwtc.DecodeResult(data)

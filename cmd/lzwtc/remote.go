@@ -21,11 +21,11 @@ const SpanRemoteRun = "remote.run"
 
 // remote drives a running lzwtcd instance through the client package:
 //
-//	lzwtc remote compress   -server URL -in cubes.txt -out cubes.lzw [-shard N] [config flags]
+//	lzwtc remote compress   -server URL -in cubes.txt -out cubes.lzw [-shard N] [-dict-id K] [config flags]
 //	lzwtc remote decompress -server URL -in cubes.lzw -out filled.txt
 //	lzwtc remote stats      -server URL
 //	lzwtc remote health     -server URL
-//	lzwtc remote submit     -server URL -in cubes.txt [-shard N] [-key K] [config flags]
+//	lzwtc remote submit     -server URL -in cubes.txt [-shard N] [-dict-id K] [-key K] [config flags]
 //	lzwtc remote poll       -server URL -job ID [-key K] [-wait]
 //	lzwtc remote fetch      -server URL -job ID [-key K] -out cubes.lzw [-wait]
 //	lzwtc remote cancel     -server URL -job ID [-key K]
@@ -50,7 +50,7 @@ func remote(ctx context.Context, args []string) error {
 	timeout := fs.Duration("timeout", 2*time.Minute, "overall deadline for the operation")
 	apiKey := fs.String("key", "", "API key identifying the job-tier tenant (X-Api-Key)")
 	topts := telemetryFlags(fs)
-	var in, out, jobID *string
+	var in, out, jobID, dictID *string
 	var shard *int
 	var wait *bool
 	var cfg *lzwtc.Config
@@ -59,6 +59,7 @@ func remote(ctx context.Context, args []string) error {
 		in = fs.String("in", "-", "input cube file (- for stdin)")
 		out = fs.String("out", "-", "output container (- for stdout)")
 		shard = fs.Int("shard", 0, "patterns per shard frame (0 = single frame)")
+		dictID = fs.String("dict-id", "", "stored dictionary key to warm-start from (train or push it first)")
 		cfg = configFlags(fs)
 	case "decompress":
 		in = fs.String("in", "-", "input container (- for stdin)")
@@ -67,6 +68,7 @@ func remote(ctx context.Context, args []string) error {
 	case "submit":
 		in = fs.String("in", "-", "input cube file (- for stdin)")
 		shard = fs.Int("shard", 0, "patterns per shard frame (0 = single frame)")
+		dictID = fs.String("dict-id", "", "stored dictionary key to warm-start from (train or push it first)")
 		cfg = configFlags(fs)
 	case "poll":
 		jobID = fs.String("job", "", "job ID to poll")
@@ -98,7 +100,7 @@ func remote(ctx context.Context, args []string) error {
 	rctx, sp := rec.StartSpan(ctx, SpanRemoteRun)
 	switch verb {
 	case "compress":
-		err = remoteCompress(rctx, c, *in, *out, *cfg, *shard)
+		err = remoteCompress(rctx, c, *in, *out, *cfg, *shard, *dictID)
 	case "decompress":
 		err = remoteDecompress(rctx, c, *in, *out)
 	case "stats":
@@ -106,7 +108,7 @@ func remote(ctx context.Context, args []string) error {
 	case "health":
 		err = remoteHealth(rctx, c)
 	case "submit":
-		err = remoteSubmit(rctx, c, *in, *cfg, *shard)
+		err = remoteSubmit(rctx, c, *in, *cfg, *shard, *dictID)
 	case "poll":
 		err = remotePoll(rctx, c, *jobID, *wait)
 	case "fetch":
@@ -142,7 +144,7 @@ func remoteStats(ctx context.Context, c *client.Client) error {
 
 // remoteSubmit queues an async compression and prints the job ID on
 // stdout (everything else goes to stderr, keeping the ID scriptable).
-func remoteSubmit(ctx context.Context, c *client.Client, in string, cfg lzwtc.Config, shard int) error {
+func remoteSubmit(ctx context.Context, c *client.Client, in string, cfg lzwtc.Config, shard int, dictID string) error {
 	r, err := openIn(in)
 	if err != nil {
 		return err
@@ -152,7 +154,7 @@ func remoteSubmit(ctx context.Context, c *client.Client, in string, cfg lzwtc.Co
 	if err != nil {
 		return err
 	}
-	st, err := c.SubmitCompressJob(ctx, ts, cfg, client.CompressOptions{ShardPatterns: shard})
+	st, err := c.SubmitCompressJob(ctx, ts, cfg, client.CompressOptions{ShardPatterns: shard, DictID: dictID})
 	if err != nil {
 		return err
 	}
@@ -237,7 +239,7 @@ func remoteHealth(ctx context.Context, c *client.Client) error {
 	return nil
 }
 
-func remoteCompress(ctx context.Context, c *client.Client, in, out string, cfg lzwtc.Config, shard int) error {
+func remoteCompress(ctx context.Context, c *client.Client, in, out string, cfg lzwtc.Config, shard int, dictID string) error {
 	r, err := openIn(in)
 	if err != nil {
 		return err
@@ -247,7 +249,7 @@ func remoteCompress(ctx context.Context, c *client.Client, in, out string, cfg l
 	if err != nil {
 		return err
 	}
-	container, err := c.Compress(ctx, ts, cfg, client.CompressOptions{ShardPatterns: shard})
+	container, err := c.Compress(ctx, ts, cfg, client.CompressOptions{ShardPatterns: shard, DictID: dictID})
 	if err != nil {
 		return err
 	}

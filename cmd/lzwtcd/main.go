@@ -6,6 +6,7 @@
 //	       [-trace-capacity 64] [-telemetry-out spans.jsonl] [-debug-addr 127.0.0.1:8078]
 //	       [-jobs-queue 256] [-jobs-concurrent 2] [-jobs-ttl 5m]
 //	       [-jobs-rate 0] [-jobs-burst 0] [-jobs-max-active 0]
+//	       [-dict-dir dicts/] [-dict-mem 67108864] [-dict-disk 268435456]
 //
 // The service answers POST /v1/compress and POST /v1/decompress with
 // streaming wire-format bodies, plus GET /v1/stats, /healthz, /metrics
@@ -13,7 +14,10 @@
 // traces, sized by -trace-capacity). POST /v1/jobs/compress admits
 // asynchronous compressions (status, result and cancel under
 // /v1/jobs/{id}); the -jobs-* flags size the queue, runner count,
-// result TTL and per-tenant quotas. -telemetry-out streams every
+// result TTL and per-tenant quotas. PUT /v1/dict trains shared
+// dictionaries (fetch, upload and evict under /v1/dict/{key}); the
+// -dict-* flags persist the store to disk and size its memory and
+// disk LRU budgets. -telemetry-out streams every
 // telemetry event — including trace.span records renderable by `lzwtc
 // trace` — to a JSONL file. -debug-addr opens a second listener (keep
 // it off the service port, e.g. loopback-only) carrying net/http/pprof
@@ -36,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"lzwtc/internal/dictstore"
 	"lzwtc/internal/jobs"
 	"lzwtc/internal/server"
 	"lzwtc/internal/telemetry"
@@ -64,6 +69,9 @@ func run(args []string) error {
 	jobRate := fs.Float64("jobs-rate", 0, "per-tenant job submissions per second (0 = unlimited)")
 	jobBurst := fs.Int("jobs-burst", 0, "per-tenant submission burst (0 = 1 when -jobs-rate is set)")
 	jobActive := fs.Int("jobs-max-active", 0, "per-tenant jobs queued or running at once (0 = unlimited)")
+	dictDir := fs.String("dict-dir", "", "persist shared dictionaries to this directory (empty = memory-only store)")
+	dictMem := fs.Int64("dict-mem", 0, "shared-dictionary memory LRU budget in bytes (0 = default 64 MiB)")
+	dictDisk := fs.Int64("dict-disk", 0, "shared-dictionary disk budget in bytes (0 = default 256 MiB)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,12 +100,38 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// A persistent dictionary store is opened here, not inside the
+	// server, so its disk index outlives drains and its metrics land in
+	// the same registry /metrics exports. Memory-only setups (-dict-dir
+	// unset) let the server open its own private store.
+	reg := telemetry.NewRegistry()
+	var dict *dictstore.Store
+	if *dictDir != "" {
+		dict, err = dictstore.Open(dictstore.Config{
+			Dir:        *dictDir,
+			MemBudget:  *dictMem,
+			DiskBudget: *dictDisk,
+			Registry:   reg,
+		})
+		if err != nil {
+			return fmt.Errorf("opening dictionary store: %w", err)
+		}
+		defer func() {
+			if err := dict.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "lzwtcd: closing dictionary store:", err)
+			}
+		}()
+		fmt.Printf("lzwtcd: dictionary store at %s\n", *dictDir)
+	}
+
 	srv := server.New(server.Config{
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *timeout,
 		Workers:        *workers,
+		Registry:       reg,
 		TraceCapacity:  *traceCap,
 		Sinks:          sinks,
+		DictStore:      dict,
 		JobQueueDepth:  *jobQueue,
 		JobConcurrent:  *jobConcurrent,
 		JobResultTTL:   *jobTTL,

@@ -148,11 +148,11 @@ func DefaultConfig() Config {
 			"internal/bitio", "internal/core", "internal/decomp",
 			"internal/bitvec", "internal/compact", "internal/huffman",
 			"internal/lz77", "internal/rle", "internal/telemetry",
-			"internal/parallel", "internal/jobs",
+			"internal/parallel", "internal/jobs", "internal/dictstore",
 		},
 		StrictErrorPaths: []string{"lzwtc", "lzwtc/cmd/...", "lzwtc/examples/...", "lzwtc/client"},
 		PanicAllowPaths:  []string{"internal/invariant"},
-		NoSuppressPaths:  []string{"internal/telemetry", "internal/parallel", "internal/jobs"},
+		NoSuppressPaths:  []string{"internal/telemetry", "internal/parallel", "internal/jobs", "internal/dictstore"},
 		ErrorExempt: []string{
 			"fmt.Print*",
 			"fmt.Fprint*",
@@ -162,19 +162,19 @@ func DefaultConfig() Config {
 		AllocBoundPaths: []string{"internal/wire", "internal/server", "lzwtc/client"},
 		AllocSinks:      []string{"internal/bitvec.New"},
 		AllocGuards:     []string{"internal/invariant.Width", "internal/invariant.Check"},
-		GoctxPaths:      []string{"internal/server", "internal/parallel", "internal/jobs", "lzwtc/client", "lzwtc/cmd/..."},
+		GoctxPaths:      []string{"internal/server", "internal/parallel", "internal/jobs", "internal/dictstore", "lzwtc/client", "lzwtc/cmd/..."},
 		PoolPaths:       []string{"internal/parallel"},
 		LockPaths: []string{
 			"internal/bitio", "internal/core", "internal/decomp",
 			"internal/bitvec", "internal/compact", "internal/huffman",
 			"internal/lz77", "internal/rle", "internal/telemetry",
 			"internal/parallel", "internal/server", "internal/jobs",
-			"lzwtc/client",
+			"internal/dictstore", "lzwtc/client",
 		},
 		BlockingCalls:     []string{"(*net/http.Client).Do", "net/http.Get", "net/http.Post"},
 		TelemetryPaths:    []string{"internal/telemetry"},
 		MetricNameAllow:   []string{"internal/telemetry.PhaseMetricName"},
-		MetricAssertPaths: []string{"internal/server", "internal/parallel", "internal/jobs"},
+		MetricAssertPaths: []string{"internal/server", "internal/parallel", "internal/jobs", "internal/dictstore"},
 	}
 }
 

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"lzwtc/internal/bitvec"
+	"lzwtc/internal/telemetry"
 )
 
 // Preload is a static warm-start dictionary: concrete character strings
@@ -134,25 +136,43 @@ func replayInto(d *dict, codes []Code) (int, error) {
 // CompressWithPreload is Compress starting from a warm dictionary. The
 // decompressor must be given the same preload.
 func CompressWithPreload(stream *bitvec.Vector, cfg Config, pre *Preload) (*Result, error) {
+	return CompressWithPreloadObservedCtx(context.Background(), stream, cfg, pre, nil)
+}
+
+// CompressWithPreloadObservedCtx is CompressWithPreload instrumented
+// through a telemetry recorder and a trace context, mirroring
+// CompressObservedCtx: the shared-dictionary service path uses it so a
+// dictionary-warmed request still attributes its compression phases.
+func CompressWithPreloadObservedCtx(ctx context.Context, stream *bitvec.Vector, cfg Config, pre *Preload, rec *telemetry.Recorder) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if pre.Entries() == 0 {
-		return Compress(stream, cfg)
+		return CompressObservedCtx(ctx, stream, cfg, rec)
 	}
 	if cfg.Full == FullReset {
 		return nil, fmt.Errorf("core: FullReset would discard the preloaded dictionary inconsistently")
 	}
 	// Compress via the normal path but with a preloaded dictionary: the
 	// implementation mirrors CompressTrace with a custom dict factory.
-	return compressWithDict(stream, cfg, func() (*dict, error) {
-		d := acquireDict(cfg, nil)
+	return compressInternal(ctx, stream, cfg, rec, func() (*dict, error) {
+		d := acquireDict(cfg, rec)
 		if err := d.preload(pre); err != nil {
 			releaseDict(d)
 			return nil, err
 		}
 		return d, nil
 	})
+}
+
+// DecompressWithPreloadObservedCtx is DecompressWithPreload under a
+// SpanDecode trace span, mirroring DecompressObservedCtx for the
+// dictionary-warmed service path.
+func DecompressWithPreloadObservedCtx(ctx context.Context, codes []Code, cfg Config, pre *Preload, outBits int, rec *telemetry.Recorder) (*bitvec.Vector, error) {
+	_, sp := rec.StartSpan(ctx, SpanDecode)
+	out, err := DecompressWithPreload(codes, cfg, pre, outBits)
+	sp.End(telemetry.F("codes", len(codes)), telemetry.F("out_bits", outBits))
+	return out, err
 }
 
 // DecompressWithPreload inverts CompressWithPreload.

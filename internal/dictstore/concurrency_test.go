@@ -1,0 +1,194 @@
+package dictstore
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lzwtc/internal/core"
+)
+
+// TestStoreSingleflight: N concurrent misses on one key run the
+// training function exactly once; every caller gets the same entry.
+func TestStoreSingleflight(t *testing.T) {
+	s := openTestStore(t, Config{})
+	key := keyN(20)
+	cfg := testConfig()
+	const callers = 32
+
+	var trains atomic.Int64
+	start := make(chan struct{})
+	entries := make([]*Entry, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			entries[i], _, errs[i] = s.GetOrTrain(context.Background(), key, cfg,
+				func(context.Context) (*core.Preload, error) {
+					trains.Add(1)
+					// Hold the flight open long enough for the other
+					// callers to pile onto it.
+					time.Sleep(20 * time.Millisecond)
+					return testPreload(), nil
+				})
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if got := trains.Load(); got != 1 {
+		t.Fatalf("training ran %d times across %d concurrent callers, want 1", got, callers)
+	}
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if entries[i] == nil || entries[i].Pre.Entries() != testPreload().Entries() {
+			t.Fatalf("caller %d got entry %+v", i, entries[i])
+		}
+	}
+	if st := s.Stats(); st.Trains != 1 {
+		t.Fatalf("stats report %d trains, want 1", st.Trains)
+	}
+}
+
+// TestStoreFlightCancellation: a waiter whose context ends stops
+// waiting; the flight leader still completes and later resolutions hit.
+func TestStoreFlightCancellation(t *testing.T) {
+	s := openTestStore(t, Config{})
+	key := keyN(21)
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := s.GetOrTrain(context.Background(), key, testConfig(),
+			func(context.Context) (*core.Preload, error) {
+				close(leaderIn)
+				<-release
+				return testPreload(), nil
+			})
+		leaderDone <- err
+	}()
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := s.GetOrTrain(ctx, key, testConfig(), nil)
+		waiterDone <- err
+	}()
+	cancel()
+	if err := <-waiterDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter got %v, want context.Canceled", err)
+	}
+
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	if _, src, err := s.GetOrTrain(context.Background(), key, core.Config{}, nil); err != nil || src != SourceMem {
+		t.Fatalf("post-flight resolve: src=%v err=%v", src, err)
+	}
+}
+
+// TestStoreConcurrencyHammer drives every store operation from many
+// goroutines at once over a small budget (run under -race): the memory
+// budget must hold at every sampled instant and the goroutine count
+// must settle once the hammer stops.
+func TestStoreConcurrencyHammer(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	const budgetEntries = 3
+	probe, err := EncodeBlob(testConfig(), preloadN(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entryMem := newEntry(keyN(0), testConfig(), preloadN(8), probe).memBytes
+	budget := budgetEntries * entryMem
+
+	func() {
+		s, err := Open(Config{MemBudget: budget, Dir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if err := s.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}()
+		ctx := context.Background()
+		stop := make(chan struct{})
+
+		// Budget watchdog: samples occupancy while the hammer runs.
+		var overBudget atomic.Int64
+		var watch sync.WaitGroup
+		watch.Add(1)
+		go func() {
+			defer watch.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if st := s.Stats(); st.MemBytes > budget {
+					overBudget.Store(st.MemBytes)
+				}
+			}
+		}()
+
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 60; i++ {
+					key := keyN(byte(30 + (w+i)%7))
+					switch i % 4 {
+					case 0:
+						_, _, _ = s.GetOrTrain(ctx, key, testConfig(),
+							func(context.Context) (*core.Preload, error) { return preloadN(8), nil })
+					case 1:
+						_, _ = s.Resolve(ctx, key)
+					case 2:
+						_, _, _ = s.Blob(ctx, key)
+					case 3:
+						if i%12 == 3 {
+							_, _ = s.Delete(key)
+						} else {
+							_, _ = s.PutPreload(key, testConfig(), preloadN(8))
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(stop)
+		watch.Wait()
+
+		if over := overBudget.Load(); over != 0 {
+			t.Fatalf("memory budget exceeded under concurrency: observed %d > %d", over, budget)
+		}
+		if st := s.Stats(); st.MemBytes > budget {
+			t.Fatalf("final occupancy %d exceeds budget %d", st.MemBytes, budget)
+		}
+	}()
+
+	// The store spawns no goroutines of its own; after the hammer and
+	// Close, the count settles back to the baseline.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not settle: %d now, %d at baseline", runtime.NumGoroutine(), baseline)
+}

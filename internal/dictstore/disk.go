@@ -1,0 +1,346 @@
+package dictstore
+
+import (
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Disk layout constants. Each dictionary is one blob file named by its
+// hex key; writers stage through a ".tmp" sibling and rename, so a
+// reader never observes a partial blob and a crashed writer leaves only
+// a temp file that the next Open removes.
+const (
+	blobExt      = ".lzwd"
+	tmpExt       = ".tmp"
+	manifestName = "manifest.json"
+)
+
+// manifestVersion guards the manifest schema.
+const manifestVersion = 1
+
+// diskEntry is one persisted blob in the index.
+type diskEntry struct {
+	key   Key
+	bytes int64
+}
+
+// manifestFile is the on-disk manifest schema: entries in LRU order,
+// oldest first, so eviction order survives restarts.
+type manifestFile struct {
+	Version int                 `json:"version"`
+	Entries []manifestFileEntry `json:"entries"`
+}
+
+type manifestFileEntry struct {
+	Key   string `json:"key"`
+	Bytes int64  `json:"bytes"`
+}
+
+// diskIndex is the persistent layer: blob files plus a compact
+// manifest, LRU-evicted by byte budget. All methods serialize on one
+// mutex — disk traffic is rare (misses and uploads only), and
+// serialization keeps manifest rewrites atomic with respect to each
+// other.
+type diskIndex struct {
+	mu     sync.Mutex
+	dir    string
+	budget int64
+	order  *list.List // of diskEntry, front = most recently used
+	elems  map[Key]*list.Element
+	total  int64
+}
+
+// openDiskIndex creates dir if needed and reconciles it: leftover temp
+// files are removed, manifest entries whose blob file vanished are
+// dropped, unlisted blob files are adopted, and the byte budget is
+// re-enforced.
+func openDiskIndex(dir string, budget int64) (*diskIndex, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dictstore: create dir: %w", err)
+	}
+	d := &diskIndex{
+		dir:    dir,
+		budget: budget,
+		order:  list.New(),
+		elems:  map[Key]*list.Element{},
+	}
+	if err := d.reconcile(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// reconcile rebuilds the in-memory index from the directory contents,
+// preferring the manifest's LRU order where it is still accurate.
+func (d *diskIndex) reconcile() error {
+	names, err := os.ReadDir(d.dir)
+	if err != nil {
+		return fmt.Errorf("dictstore: read dir: %w", err)
+	}
+	onDisk := map[Key]int64{}
+	for _, de := range names {
+		name := de.Name()
+		if strings.HasSuffix(name, tmpExt) {
+			// A crashed writer's partial file: ignore and clean.
+			if rerr := os.Remove(filepath.Join(d.dir, name)); rerr != nil {
+				return fmt.Errorf("dictstore: clean temp file: %w", rerr)
+			}
+			continue
+		}
+		if !strings.HasSuffix(name, blobExt) {
+			continue
+		}
+		key, perr := ParseKey(strings.TrimSuffix(name, blobExt))
+		if perr != nil {
+			continue // foreign file; leave it alone
+		}
+		info, ierr := de.Info()
+		if ierr != nil {
+			if errors.Is(ierr, fs.ErrNotExist) {
+				continue
+			}
+			return fmt.Errorf("dictstore: stat blob: %w", ierr)
+		}
+		onDisk[key] = info.Size()
+	}
+
+	dirty := false
+	man, merr := d.readManifest()
+	if merr != nil {
+		// Unreadable or mis-versioned manifest: rebuild from the blob
+		// files alone (deterministically, by key) — never fail Open
+		// over index metadata when the data files are intact.
+		man = nil
+		dirty = true
+	}
+	listed := map[Key]bool{}
+	for _, me := range man {
+		key, perr := ParseKey(me.Key)
+		if perr != nil {
+			dirty = true
+			continue
+		}
+		size, ok := onDisk[key]
+		if !ok || listed[key] {
+			dirty = true
+			continue
+		}
+		listed[key] = true
+		d.elems[key] = d.order.PushFront(diskEntry{key: key, bytes: size})
+		d.total += size
+		if size != me.Bytes {
+			dirty = true
+		}
+	}
+	var orphans []Key
+	for key := range onDisk {
+		if !listed[key] {
+			orphans = append(orphans, key)
+		}
+	}
+	sort.Slice(orphans, func(i, j int) bool {
+		return orphans[i].String() < orphans[j].String()
+	})
+	for _, key := range orphans {
+		d.elems[key] = d.order.PushFront(diskEntry{key: key, bytes: onDisk[key]})
+		d.total += onDisk[key]
+		dirty = true
+	}
+	if _, err := d.enforceBudget(); err != nil {
+		return err
+	}
+	if dirty {
+		return d.writeManifest()
+	}
+	return nil
+}
+
+// readManifest loads the manifest entries, oldest first.
+func (d *diskIndex) readManifest() ([]manifestFileEntry, error) {
+	raw, err := os.ReadFile(filepath.Join(d.dir, manifestName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var mf manifestFile
+	if err := json.Unmarshal(raw, &mf); err != nil {
+		return nil, err
+	}
+	if mf.Version != manifestVersion {
+		return nil, fmt.Errorf("dictstore: manifest version %d", mf.Version)
+	}
+	// Oldest first, matching the PushFront loop in reconcile: the last
+	// entry pushed (the newest) ends at the LRU front.
+	return mf.Entries, nil
+}
+
+// writeManifest persists the current LRU order atomically
+// (temp + rename). Caller holds d.mu.
+func (d *diskIndex) writeManifest() error {
+	mf := manifestFile{Version: manifestVersion}
+	for el := d.order.Back(); el != nil; el = el.Prev() {
+		de := el.Value.(diskEntry)
+		mf.Entries = append(mf.Entries, manifestFileEntry{Key: de.key.String(), Bytes: de.bytes})
+	}
+	raw, err := json.Marshal(mf)
+	if err != nil {
+		return fmt.Errorf("dictstore: encode manifest: %w", err)
+	}
+	tmp := filepath.Join(d.dir, manifestName+tmpExt)
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("dictstore: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(d.dir, manifestName)); err != nil {
+		return fmt.Errorf("dictstore: publish manifest: %w", err)
+	}
+	return nil
+}
+
+// blobPath names key's blob file.
+func (d *diskIndex) blobPath(key Key) string {
+	return filepath.Join(d.dir, key.String()+blobExt)
+}
+
+// load reads key's blob, refreshing its LRU position. ok=false on a
+// clean miss.
+func (d *diskIndex) load(key Key) (blob []byte, ok bool, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	el, has := d.elems[key]
+	if !has {
+		return nil, false, nil
+	}
+	raw, rerr := os.ReadFile(d.blobPath(key))
+	if rerr != nil {
+		if errors.Is(rerr, fs.ErrNotExist) {
+			// File vanished out from under the index (external
+			// tampering): drop the entry and report a miss.
+			d.dropLocked(el)
+			if werr := d.writeManifest(); werr != nil {
+				return nil, false, werr
+			}
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("dictstore: read blob: %w", rerr)
+	}
+	d.order.MoveToFront(el)
+	if werr := d.writeManifest(); werr != nil {
+		return nil, false, werr
+	}
+	return raw, true, nil
+}
+
+// put persists blob under key (temp + rename), evicting cold entries
+// until the byte budget holds again. A blob larger than the whole
+// budget is not persisted at all. Returns how many entries were
+// evicted.
+func (d *diskIndex) put(key Key, blob []byte) (evicted int, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int64(len(blob)) > d.budget {
+		return 0, nil
+	}
+	tmp := d.blobPath(key) + tmpExt
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return 0, fmt.Errorf("dictstore: write blob: %w", err)
+	}
+	if err := os.Rename(tmp, d.blobPath(key)); err != nil {
+		return 0, fmt.Errorf("dictstore: publish blob: %w", err)
+	}
+	if el, has := d.elems[key]; has {
+		d.dropLocked(el)
+	}
+	d.elems[key] = d.order.PushFront(diskEntry{key: key, bytes: int64(len(blob))})
+	d.total += int64(len(blob))
+	n, err := d.enforceBudget()
+	if err != nil {
+		return n, err
+	}
+	return n, d.writeManifest()
+}
+
+// enforceBudget evicts from the cold end until total <= budget,
+// removing blob files as it goes. Caller holds d.mu and is responsible
+// for the manifest rewrite.
+func (d *diskIndex) enforceBudget() (evicted int, err error) {
+	for d.total > d.budget {
+		back := d.order.Back()
+		if back == nil {
+			break
+		}
+		de := back.Value.(diskEntry)
+		if rerr := os.Remove(d.blobPath(de.key)); rerr != nil && !errors.Is(rerr, fs.ErrNotExist) {
+			return evicted, fmt.Errorf("dictstore: evict blob: %w", rerr)
+		}
+		d.dropLocked(back)
+		evicted++
+	}
+	return evicted, nil
+}
+
+// remove deletes key's blob and index entry.
+func (d *diskIndex) remove(key Key) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := os.Remove(d.blobPath(key)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("dictstore: remove blob: %w", err)
+	}
+	el, has := d.elems[key]
+	if !has {
+		return nil
+	}
+	d.dropLocked(el)
+	return d.writeManifest()
+}
+
+// dropLocked unlinks one LRU element from the index bookkeeping.
+// Caller holds d.mu.
+func (d *diskIndex) dropLocked(el *list.Element) {
+	de := el.Value.(diskEntry)
+	d.order.Remove(el)
+	delete(d.elems, de.key)
+	d.total -= de.bytes
+}
+
+// contains reports index membership without touching LRU order.
+func (d *diskIndex) contains(key Key) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, has := d.elems[key]
+	return has, nil
+}
+
+// list snapshots the entries, most recent first.
+func (d *diskIndex) list() []diskEntry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]diskEntry, 0, d.order.Len())
+	for el := d.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(diskEntry))
+	}
+	return out
+}
+
+// stats reports entry count and total bytes.
+func (d *diskIndex) stats() (int, int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.order.Len(), d.total
+}
+
+// totalBytes reports the persisted byte total.
+func (d *diskIndex) totalBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.total
+}

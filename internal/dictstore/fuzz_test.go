@@ -1,0 +1,113 @@
+package dictstore
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"lzwtc/internal/core"
+)
+
+// FuzzDictBlobDecode feeds arbitrary bytes to the blob decoder: it must
+// return a typed error or a well-formed preload, never panic, and a
+// successful decode must re-encode canonically (decode∘encode is the
+// identity on valid blobs).
+func FuzzDictBlobDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("LZWD"))
+	f.Add([]byte("LZWD\x01"))
+	f.Add([]byte("not a dictionary"))
+	for _, pre := range []*core.Preload{{}, testPreload()} {
+		blob, err := EncodeBlob(testConfig(), pre)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, pre, err := DecodeBlob(data)
+		if err != nil {
+			return
+		}
+		// A blob that decodes cleanly must be the canonical encoding of
+		// what it decoded to: re-encode and compare.
+		again, err := EncodeBlob(cfg, pre)
+		if err != nil {
+			t.Fatalf("decoded blob does not re-encode: %v", err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", data, again)
+		}
+	})
+}
+
+// FuzzDictStoreRoundTrip drives the store with fuzzer-shaped preloads:
+// any prefix-closed dictionary the fuzzer constructs must survive
+// encode → store → blob fetch → decode bit-exactly, through both the
+// memory LRU and the uploaded-blob path.
+func FuzzDictStoreRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 0, 3}, uint8(4))
+	f.Add([]byte{}, uint8(2))
+	f.Add([]byte{3, 3, 3, 3, 3, 3}, uint8(3))
+
+	f.Fuzz(func(t *testing.T, chars []byte, charBits uint8) {
+		if charBits < 2 || charBits > 6 {
+			return
+		}
+		cfg := core.Config{CharBits: int(charBits), DictSize: 4 << charBits, EntryBits: 16}
+		if cfg.Validate() != nil {
+			return
+		}
+		literals := cfg.Literals()
+
+		// Grow a prefix-closed dictionary from the fuzz bytes: each byte
+		// extends the previously built string (chaining) or starts a new
+		// two-character one, mirroring how training inserts entries.
+		pre := &core.Preload{}
+		capacity := cfg.DictSize - literals
+		var last []uint64
+		for _, b := range chars {
+			if len(pre.Strings) >= capacity {
+				break
+			}
+			ch := uint64(b) % uint64(literals)
+			if last == nil || len(last) >= cfg.MaxChars() || b%3 == 0 {
+				last = []uint64{ch, (ch + 1) % uint64(literals)}
+			} else {
+				ext := make([]uint64, 0, len(last)+1)
+				ext = append(append(ext, last...), ch)
+				last = ext
+			}
+			pre.Strings = append(pre.Strings, last)
+		}
+
+		blob, err := EncodeBlob(cfg, pre)
+		if err != nil {
+			return // fuzzer built something invalid (e.g. duplicate); fine
+		}
+
+		s, err := Open(Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		key := KeyFor(chars, cfg)
+		if _, err := s.PutBlob(key, blob); err != nil {
+			t.Fatalf("canonical blob rejected by the store: %v", err)
+		}
+		got, ent, err := s.Blob(context.Background(), key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, blob) {
+			t.Fatalf("blob changed through the store:\n in  %x\n out %x", blob, got)
+		}
+		if ent.Digest != BlobDigest(blob) {
+			t.Fatal("entry digest does not match the canonical blob")
+		}
+		if ent.Pre.Entries() != len(pre.Strings) {
+			t.Fatalf("stored %d entries, want %d", ent.Pre.Entries(), len(pre.Strings))
+		}
+	})
+}

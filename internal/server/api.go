@@ -25,6 +25,14 @@ const (
 	// PathJobs is the per-job prefix: GET {id} for status, GET
 	// {id}/result for the wire container, DELETE {id} to cancel.
 	PathJobs = "/v1/jobs/"
+
+	// PathDict trains shared dictionaries: PUT with cube text trains
+	// (idempotently, through the store's singleflight) and answers the
+	// content address.
+	PathDict = "/v1/dict"
+	// PathDictKey is the per-dictionary prefix: GET {key} fetches the
+	// LZWD blob, PUT {key} uploads one, DELETE {key} evicts.
+	PathDictKey = "/v1/dict/"
 )
 
 // JobResultSuffix selects a job's result document under PathJobs.
@@ -40,6 +48,13 @@ const (
 	ParamTie   = "tie"
 	ParamFull  = "full"
 	ParamShard = "shard"
+	// ParamDictID names a stored shared dictionary (64-char hex store
+	// key) for /v1/compress and /v1/jobs/compress: the compression
+	// starts from that preload and the container carries a 'D' frame.
+	ParamDictID = "dictid"
+	// ParamEntries bounds the preload entry count for PUT /v1/dict
+	// training (0 = keep everything the training run built).
+	ParamEntries = "entries"
 )
 
 // Response headers carrying compression geometry next to the container.
@@ -48,6 +63,11 @@ const (
 	HeaderWidth    = "X-Lzwtc-Width"
 	HeaderRatio    = "X-Lzwtc-Ratio"
 	HeaderShards   = "X-Lzwtc-Shards"
+	// HeaderDictKey / HeaderDictDigest ride dictionary-referencing
+	// responses: the store key and canonical blob digest of the
+	// dictionary the compression (or blob response) used.
+	HeaderDictKey    = "X-Lzwtc-Dict-Key"
+	HeaderDictDigest = "X-Lzwtc-Dict-Digest"
 )
 
 // Request-scoped propagation headers.
@@ -104,6 +124,10 @@ const (
 	CodeJobNotDone  = "job_not_done"
 	CodeJobFailed   = "job_failed"
 	CodeJobCanceled = "job_canceled"
+
+	// Dictionary-store codes.
+	CodeDictNotFound = "dict_not_found"
+	CodeDictInvalid  = "dict_invalid"
 )
 
 // StatsResponse is the /v1/stats document. The dict-arena counters use
@@ -122,6 +146,33 @@ type StatsResponse struct {
 	DictPoolRecycles     int64            `json:"dict_pool_recycles"`
 	DictPoolMisses       int64            `json:"dict_pool_misses"`
 	Jobs                 JobsStats        `json:"jobs"`
+	DictStore            DictStoreStats   `json:"dict_store"`
+}
+
+// DictStoreStats is the shared-dictionary section of /v1/stats,
+// mirroring the dictstore registry counters plus the live occupancy.
+type DictStoreStats struct {
+	Entries     int   `json:"entries"`
+	MemBytes    int64 `json:"mem_bytes"`
+	DiskEntries int   `json:"disk_entries"`
+	DiskBytes   int64 `json:"disk_bytes"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+	Trains      int64 `json:"trains"`
+}
+
+// DictResponse is the document PUT /v1/dict (train) and PUT
+// /v1/dict/{key} (upload) answer: the content address and shape of the
+// stored dictionary.
+type DictResponse struct {
+	Key       string `json:"key"`
+	Digest    string `json:"digest"`
+	Entries   int    `json:"entries"`
+	BlobBytes int    `json:"blob_bytes"`
+	// Source reports how the training resolved: "mem" or "disk" for an
+	// already-stored dictionary, "trained" for a fresh run.
+	Source string `json:"source,omitempty"`
 }
 
 // JobsStats is the async-tier section of /v1/stats, mirroring the

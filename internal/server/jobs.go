@@ -69,6 +69,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
+	dictKey, haveDict, err := parseDictID(r.URL.Query())
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	ts, err := lzwtc.ReadTestSet(body)
 	if err != nil {
@@ -77,8 +82,20 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.bytesIn.Add(int64(approxCubeBytes(ts)))
 
+	// A dict-referencing submit resolves the dictionary now, not inside
+	// the job: a dangling dictid fails the submission synchronously, the
+	// same eager-validation contract the query and body already follow.
+	var pre *lzwtc.Preload
+	var ref lzwtc.DictRef
+	if haveDict {
+		var ok bool
+		if pre, ref, ok = s.resolveDictParam(r.Context(), w, r, dictKey); !ok {
+			return
+		}
+	}
+
 	tenant := tenantOf(r)
-	st, err := s.jobs.Submit(r.Context(), tenant, s.compressJob(ts, cfg, shard))
+	st, err := s.jobs.Submit(r.Context(), tenant, s.compressJob(ts, cfg, shard, pre, ref))
 	if err != nil {
 		var rej *jobs.RejectError
 		switch {
@@ -104,12 +121,26 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 // registry, the server's sinks, and the job's Progress — so pool
 // telemetry, trace spans and the frames_done feed all ride the same
 // event stream the synchronous path uses.
-func (s *Server) compressJob(ts *lzwtc.TestSet, cfg lzwtc.Config, shard int) jobs.RunFunc {
+func (s *Server) compressJob(ts *lzwtc.TestSet, cfg lzwtc.Config, shard int, pre *lzwtc.Preload, ref lzwtc.DictRef) jobs.RunFunc {
 	return func(ctx context.Context, pr *jobs.Progress) (*jobs.Payload, error) {
 		rec := telemetry.New(s.reg, append(append([]telemetry.Sink{}, s.sinks...), pr)...).
 			WithProcess(processName)
 		opts := lzwtc.BatchOptions{Workers: s.cfg.Workers, Policy: lzwtc.FailFast, Recorder: rec}
 		var buf bytes.Buffer
+		if pre != nil {
+			// Dictionary-warmed job: the result is always the 'D'-frame
+			// container form, sharded or not.
+			pr.SetTotal(shardTotal(len(ts.Cubes), shard))
+			sr, err := lzwtc.CompressShardedPreloaded(ctx, ts, cfg, pre, shard, opts)
+			if err != nil {
+				return nil, err
+			}
+			if err := lzwtc.WriteWireDict(&buf, sr, ref); err != nil {
+				return nil, err
+			}
+			s.patternsIn.Add(int64(sr.Patterns))
+			return &jobs.Payload{Data: buf.Bytes(), Patterns: sr.Patterns, Ratio: sr.Ratio()}, nil
+		}
 		if shard > 0 {
 			pr.SetTotal((len(ts.Cubes) + shard - 1) / shard)
 			sr, err := lzwtc.CompressSharded(ctx, ts, cfg, shard, opts)
@@ -137,6 +168,15 @@ func (s *Server) compressJob(ts *lzwtc.TestSet, cfg lzwtc.Config, shard int) job
 		s.patternsIn.Add(int64(res.Patterns))
 		return &jobs.Payload{Data: buf.Bytes(), Patterns: res.Patterns, Ratio: res.Ratio()}, nil
 	}
+}
+
+// shardTotal is the expected frame count for the progress feed: one
+// frame per shard group, or a single frame when unsharded.
+func shardTotal(patterns, shard int) int {
+	if shard <= 0 {
+		return 1
+	}
+	return (patterns + shard - 1) / shard
 }
 
 // handleJobs dispatches the per-job endpoints:

@@ -41,6 +41,7 @@ import (
 
 	"lzwtc"
 	"lzwtc/internal/core"
+	"lzwtc/internal/dictstore"
 	"lzwtc/internal/jobs"
 	"lzwtc/internal/telemetry"
 )
@@ -74,6 +75,11 @@ const (
 	// typically fans out into many polls.
 	MetricJobSubmitRequests = "lzwtcd_job_submit_requests_total"
 	MetricJobRequests       = "lzwtcd_job_requests_total"
+
+	// MetricDictRequests counts /v1/dict operations (train, fetch,
+	// upload, evict together; the store's own hit/miss/train counters
+	// break the outcomes down).
+	MetricDictRequests = "lzwtcd_dict_requests_total"
 )
 
 // SLO latency histograms for the two data-plane endpoints. Each request
@@ -149,6 +155,14 @@ type Config struct {
 	// JobQuota is the per-tenant admission policy for the job tier; the
 	// zero value admits everything.
 	JobQuota jobs.Quota
+
+	// DictStore is the shared-dictionary cache tier behind /v1/dict and
+	// the dictid compression path. nil opens a private memory-only
+	// store wired to the server's registry; an injected store is NOT
+	// closed by the server (its owner closes it) but its resolve spans
+	// are re-pointed at the server's recorder so they join request
+	// traces.
+	DictStore *dictstore.Store
 }
 
 // Server is the lzwtcd HTTP service.
@@ -159,6 +173,8 @@ type Server struct {
 	traces   *telemetry.TraceBuffer
 	sinks    []telemetry.Sink // recorder's sink set; per-job recorders extend it
 	jobs     *jobs.Manager
+	dict     *dictstore.Store
+	ownDict  bool
 	mux      *http.ServeMux
 	start    time.Time
 	inFlight atomic.Int64
@@ -274,6 +290,18 @@ func New(cfg Config) *Server {
 		}, s.handleJobSubmit))
 	s.mux.HandleFunc(PathJobs, s.instrument(
 		reg.Counter(MetricJobRequests, "job status/result/cancel operations"), nil, nil, s.handleJobs))
+	s.dict = cfg.DictStore
+	if s.dict == nil {
+		// Open cannot fail without a Dir, so the error is structural-
+		// impossible here; a private memory-only store still serves the
+		// full API (minus persistence).
+		s.dict, _ = dictstore.Open(dictstore.Config{Registry: reg})
+		s.ownDict = true
+	}
+	s.dict.SetRecorder(s.rec)
+	dictCounter := reg.Counter(MetricDictRequests, "dictionary store operations")
+	s.mux.HandleFunc(PathDict, s.instrument(dictCounter, nil, nil, s.handleDictTrain))
+	s.mux.HandleFunc(PathDictKey, s.instrument(dictCounter, nil, nil, s.handleDictKey))
 	s.mux.HandleFunc("/", s.instrument(
 		reg.Counter(MetricOtherRequests, "requests to unknown endpoints"), nil, nil,
 		func(w http.ResponseWriter, r *http.Request) {
@@ -295,11 +323,21 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // drive the tier directly.
 func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
+// DictStore returns the shared-dictionary store the server serves
+// /v1/dict from (the injected one, or the private memory-only store).
+func (s *Server) DictStore() *dictstore.Store { return s.dict }
+
 // Close releases the server's background resources: remaining async
-// jobs are canceled and the job manager's goroutines stopped. Serve
-// calls it after a drain; handler-only embedders (httptest) must call
-// it themselves.
-func (s *Server) Close() { s.jobs.Close() }
+// jobs are canceled and the job manager's goroutines stopped, and a
+// privately opened dictionary store is closed (an injected one belongs
+// to its owner). Serve calls it after a drain; handler-only embedders
+// (httptest) must call it themselves.
+func (s *Server) Close() {
+	s.jobs.Close()
+	if s.ownDict {
+		_ = s.dict.Close() //nolint:errcheck // memory-only store; Close cannot fail
+	}
+}
 
 // TraceHandler returns a standalone handler for the recent-traces
 // endpoint, for mounting on a separate debug listener next to pprof.
@@ -515,6 +553,11 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
+	dictKey, haveDict, err := parseDictID(r.URL.Query())
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
@@ -527,6 +570,31 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	s.bytesIn.Add(int64(approxCubeBytes(ts)))
 
 	opts := lzwtc.BatchOptions{Workers: s.cfg.Workers, Policy: lzwtc.FailFast, Recorder: s.rec}
+	if haveDict {
+		// Warm-start path: resolve the stored dictionary (never train on
+		// the compress endpoint — a missing key is the caller's signal to
+		// train first) and emit a 'D'-frame container naming it.
+		pre, ref, ok := s.resolveDictParam(ctx, w, r, dictKey)
+		if !ok {
+			return
+		}
+		sr, err := lzwtc.CompressShardedPreloaded(ctx, ts, cfg, pre, shard, opts)
+		if err != nil {
+			s.mapError(w, r, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set(HeaderPatterns, strconv.Itoa(sr.Patterns))
+		w.Header().Set(HeaderWidth, strconv.Itoa(sr.Width))
+		w.Header().Set(HeaderRatio, strconv.FormatFloat(sr.Ratio(), 'g', -1, 64))
+		w.Header().Set(HeaderShards, strconv.Itoa(len(sr.Shards)))
+		w.Header().Set(HeaderDictKey, dictKey.String())
+		if err := lzwtc.WriteWireDict(w, sr, ref); err != nil {
+			return // headers already sent; truncation is detectable by the missing EOS
+		}
+		s.patternsIn.Add(int64(sr.Patterns))
+		return
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if shard > 0 {
 		sr, err := lzwtc.CompressSharded(ctx, ts, cfg, shard, opts)
@@ -580,7 +648,10 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	}
 	done := make(chan result, 1)
 	go func() {
-		ts, err := lzwtc.DecompressWireObserved(ctx, body, s.rec)
+		// The dict-aware path degrades to plain DecompressWire for
+		// containers without a 'D' frame, so every container decompresses
+		// through one entry point.
+		ts, err := lzwtc.DecompressWireDictObserved(ctx, body, s.dict, s.rec)
 		done <- result{ts, err}
 	}()
 	select {
@@ -635,6 +706,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Rejected:  snap.CounterValue(jobs.MetricJobsRejected),
 	}
 	resp.Jobs.Queued, resp.Jobs.Running = s.jobs.Counts()
+	ds := s.dict.Stats()
+	resp.DictStore = DictStoreStats{
+		Entries:     ds.Entries,
+		MemBytes:    ds.MemBytes,
+		DiskEntries: ds.DiskEntries,
+		DiskBytes:   ds.DiskBytes,
+		Hits:        ds.Hits,
+		Misses:      ds.Misses,
+		Evictions:   ds.Evictions,
+		Trains:      ds.Trains,
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

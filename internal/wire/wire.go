@@ -10,9 +10,19 @@
 // payload and makes every region tamper-evident:
 //
 //	header  magic "LZWW" | version u8 | uvarint config+geometry | CRC32C
+//	dict    'D' | store key (32B) | blob digest (32B) | CRC32C   (optional, at most one)
 //	frame   'F' | uvarint patterns, inputBits, nCodes | packed codes | CRC32C
 //	...     (one frame per independently decompressible shard)
 //	eos     'E' | uvarint frameCount, totalPatterns | CRC32C
+//
+// The optional dictionary-reference frame names a shared preloaded
+// dictionary by content address: the SHA-256 store key identifies which
+// dictionary to fetch, and the blob digest (SHA-256 of the canonical
+// LZWD encoding) lets the resolver prove it fetched the exact
+// dictionary the compressor used. When a 'D' frame is present, every
+// data frame was compressed with that preload installed, and a frame
+// boundary reinstalls it (FullReset configs therefore cannot carry a
+// dictionary reference).
 //
 // All multi-byte CRCs are big-endian CRC32C (Castagnoli). Every frame
 // is independently decompressible — a frame boundary is semantically a
@@ -65,13 +75,40 @@ var (
 	ErrLimit = errors.New("wire: length field exceeds format limit")
 	// ErrClosed reports a write to a closed Writer.
 	ErrClosed = errors.New("wire: writer closed")
+	// ErrDictFrame reports a misplaced or repeated dictionary-reference
+	// frame, or one on a FullReset container (a frame boundary resets
+	// the dictionary, so a preload reference is meaningless there).
+	ErrDictFrame = errors.New("wire: invalid dictionary reference frame")
 )
 
 // Frame marker bytes.
 const (
 	frameData = 'F'
 	frameEOS  = 'E'
+	frameDict = 'D'
 )
+
+// DictRefLen is the byte length of each content address in a
+// dictionary-reference frame (SHA-256).
+const DictRefLen = 32
+
+// DictRef names a shared preloaded dictionary by content address: Key
+// locates it in a dictionary store, Digest (SHA-256 of the canonical
+// LZWD blob) proves the resolved dictionary is the one the compressor
+// used.
+type DictRef struct {
+	Key    [DictRefLen]byte
+	Digest [DictRefLen]byte
+}
+
+// encodeDictRef renders the dictionary-reference region.
+func encodeDictRef(ref DictRef) []byte {
+	b := make([]byte, 0, 1+2*DictRefLen+4)
+	b = append(b, frameDict)
+	b = append(b, ref.Key[:]...)
+	b = append(b, ref.Digest[:]...)
+	return binary.BigEndian.AppendUint32(b, crc32.Checksum(b, crcTable))
+}
 
 // Format hard bounds: length fields beyond these are rejected before
 // any allocation happens. They comfortably exceed every real workload
@@ -208,13 +245,14 @@ func unpackCodes(data []byte, n, cb int) ([]core.Code, error) {
 // the frame being encoded, so arbitrarily many frames stream in
 // constant memory.
 type Writer struct {
-	w        io.Writer
-	hdr      Header
-	cb       int
-	frames   int
-	patterns int
-	closed   bool
-	err      error
+	w         io.Writer
+	hdr       Header
+	cb        int
+	frames    int
+	patterns  int
+	wroteDict bool
+	closed    bool
+	err       error
 }
 
 // NewWriter validates the header and writes it to w.
@@ -233,6 +271,34 @@ func NewWriter(w io.Writer, hdr Header) (*Writer, error) {
 
 // Header returns the header the Writer was opened with.
 func (w *Writer) Header() Header { return w.hdr }
+
+// WriteDictRef writes the dictionary-reference frame. It must precede
+// every data frame, may appear at most once, and is rejected on a
+// FullReset container (frame boundaries reset the dictionary there, so
+// data frames could never see the preload).
+func (w *Writer) WriteDictRef(ref DictRef) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return ErrClosed
+	}
+	if w.wroteDict {
+		return fmt.Errorf("%w: already written", ErrDictFrame)
+	}
+	if w.frames > 0 {
+		return fmt.Errorf("%w: must precede data frames", ErrDictFrame)
+	}
+	if w.hdr.Cfg.Full == core.FullReset {
+		return fmt.Errorf("%w: FullReset container cannot reference a dictionary", ErrDictFrame)
+	}
+	if _, err := w.w.Write(encodeDictRef(ref)); err != nil {
+		w.err = err
+		return err
+	}
+	w.wroteDict = true
+	return nil
+}
 
 // WriteFrame appends one data frame. The frame's codes must fit the
 // header's code width (guaranteed when they come from a compression
@@ -306,6 +372,7 @@ type Reader struct {
 	cb       int
 	frames   int
 	patterns int
+	dictRef  *DictRef
 	done     bool
 	err      error
 }
@@ -371,6 +438,16 @@ func NewReader(r io.Reader) (*Reader, error) {
 // Header returns the parsed container header.
 func (r *Reader) Header() Header { return r.hdr }
 
+// DictRef returns the container's dictionary reference, if any. The
+// 'D' frame precedes all data frames, so after the first ReadFrame the
+// answer is final.
+func (r *Reader) DictRef() (DictRef, bool) {
+	if r.dictRef == nil {
+		return DictRef{}, false
+	}
+	return *r.dictRef, true
+}
+
 // Frames returns the number of data frames read so far.
 func (r *Reader) Frames() int { return r.frames }
 
@@ -408,9 +485,42 @@ func (r *Reader) readFrame() (*Frame, error) {
 		return r.readDataFrame(raw)
 	case frameEOS:
 		return nil, r.readEOSFrame(raw)
+	case frameDict:
+		if err := r.readDictFrame(raw); err != nil {
+			return nil, err
+		}
+		// The dictionary reference is metadata, not a data frame:
+		// continue to whatever follows it.
+		return r.readFrame()
 	default:
 		return nil, fmt.Errorf("%w: 0x%02x at frame %d", ErrFrameType, marker, r.frames)
 	}
+}
+
+// readDictFrame parses and validates the dictionary-reference region.
+func (r *Reader) readDictFrame(raw []byte) error {
+	if r.dictRef != nil {
+		return fmt.Errorf("%w: repeated", ErrDictFrame)
+	}
+	if r.frames > 0 {
+		return fmt.Errorf("%w: after data frame %d", ErrDictFrame, r.frames-1)
+	}
+	if r.hdr.Cfg.Full == core.FullReset {
+		return fmt.Errorf("%w: FullReset container cannot reference a dictionary", ErrDictFrame)
+	}
+	var body [2 * DictRefLen]byte
+	if n, err := io.ReadFull(r.r, body[:]); err != nil {
+		return fmt.Errorf("%w: dict frame body: got %d of %d bytes", ErrTruncated, n, len(body))
+	}
+	raw = append(raw, body[:]...)
+	if err := checkCRC(r.r, raw, "dict frame"); err != nil {
+		return err
+	}
+	ref := &DictRef{}
+	copy(ref.Key[:], body[:DictRefLen])
+	copy(ref.Digest[:], body[DictRefLen:])
+	r.dictRef = ref
+	return nil
 }
 
 func (r *Reader) readDataFrame(raw []byte) (*Frame, error) {

@@ -17,3 +17,17 @@ awk -v total="$TOTAL" -v floor="$FLOOR" 'BEGIN {
         exit 1
     }
 }'
+
+# Per-package floor for the shared-dictionary tier: its blob decoder is
+# a hostile-input surface, so it carries a higher bar than the total.
+DICT_FLOOR="${DICT_COVER_FLOOR:-80.0}"
+DICT_PROFILE="${DICT_COVER_PROFILE:-/tmp/lzwtc-dictstore-cover.out}"
+go test -coverprofile="$DICT_PROFILE" ./internal/dictstore >/dev/null
+DICT=$(go tool cover -func="$DICT_PROFILE" | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')
+echo "coverage: internal/dictstore ${DICT}% (floor ${DICT_FLOOR}%)"
+awk -v total="$DICT" -v floor="$DICT_FLOOR" 'BEGIN {
+    if (total + 0 < floor + 0) {
+        printf "dictstore coverage gate FAILED: %.1f%% < %.1f%%\n", total, floor
+        exit 1
+    }
+}'

@@ -82,6 +82,26 @@ curl -fsS -o "$WORK/recent-debug.json" "$DEBUG/debug/trace/recent"
 grep -q "server.compress" "$WORK/recent-debug.json" || {
     echo "debug listener trace endpoint missing server.compress span"; exit 1; }
 
+# Shared-dictionary flow: train a dictionary into a local store, push
+# it to the service, compress by dictionary ID (the container carries a
+# 'D' frame naming it), decompress remotely (the server resolves its
+# own store) and locally (the CLI resolves the pushed local store).
+DICTS="$WORK/dicts"
+KEY=$("$WORK/lzwtc" dict train -store "$DICTS" -in "$IN" -char 7 -dict 1024 -entry 63)
+[ -n "$KEY" ] || { echo "dict train printed no key"; exit 1; }
+"$WORK/lzwtc" dict ls -store "$DICTS" | grep -q "$KEY" || {
+    echo "dict ls does not list the trained key"; exit 1; }
+"$WORK/lzwtc" dict push -store "$DICTS" -id "$KEY" -server "$SERVER"
+"$WORK/lzwtc" remote compress -server "$SERVER" -in "$IN" -out "$WORK/warm.lzw" \
+    -char 7 -dict 1024 -entry 63 -dict-id "$KEY"
+"$WORK/lzwtc" remote decompress -server "$SERVER" -in "$WORK/warm.lzw" -out "$WORK/warm-filled.txt"
+"$WORK/lzwtc" verify -cubes "$IN" -filled "$WORK/warm-filled.txt"
+"$WORK/lzwtc" decompress -in "$WORK/warm.lzw" -out "$WORK/warm-local.txt" -dict-store "$DICTS"
+"$WORK/lzwtc" verify -cubes "$IN" -filled "$WORK/warm-local.txt"
+cmp -s "$WORK/warm-filled.txt" "$WORK/warm-local.txt" || {
+    echo "remote and local dict decompression disagree"; exit 1; }
+echo "smoke: dict round trip ok (key $KEY)"
+
 kill -TERM "$SERVER_PID"
 WAIT_STATUS=0
 wait "$SERVER_PID" || WAIT_STATUS=$?
